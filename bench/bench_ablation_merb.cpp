@@ -1,0 +1,47 @@
+// Ablation: the WG-Bw orphan-control window (§IV-D).
+//
+// After the MERB threshold is met, up to `orphan_limit` leftover row hits
+// are still serviced before the row-miss closes the row (the paper uses
+// 2: "prevents a row-miss from leaving behind only one or two requests
+// to a row").  0 disables orphan control; large values delay misses.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("Ablation — WG-Bw orphan-control window (paper value: 2)",
+         "orphan control tops up 1-2 stranded row hits before a row-miss");
+  print_config(opts);
+
+  const std::vector<std::uint32_t> limits = {0, 1, 2, 4, 8};
+  std::vector<std::string> head;
+  for (auto l : limits) head.push_back("orphan=" + fixed(l, 0));
+  print_row("workload", head);
+
+  std::vector<std::vector<double>> cols(limits.size());
+  std::uint64_t total_topups = 0;
+  for (const WorkloadProfile& w : irregular_suite()) {
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+      const std::uint32_t l = limits[i];
+      const RunResult r =
+          run_point(w, SchedulerKind::kWgBw, opts,
+                    [l](SimConfig& c) { c.wg.orphan_limit = l; });
+      cols[i].push_back(r.ipc);
+      cells.push_back(fixed(r.ipc, 3));
+      if (l == 2) total_topups += r.wg_merb_deferrals;
+    }
+    print_row(w.name, cells);
+  }
+  std::vector<std::string> gm;
+  for (auto& col : cols) gm.push_back(fixed(geomean(col), 3));
+  print_row("geomean-IPC", gm);
+  std::printf("\nMERB deferrals at orphan=2 (all workloads): %llu\n",
+              static_cast<unsigned long long>(total_topups));
+  return 0;
+}

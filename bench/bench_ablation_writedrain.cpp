@@ -1,0 +1,44 @@
+// Ablation: the WG-W trigger point (§IV-E).
+//
+// WG-W re-prioritises unit-remaining warp-groups once the write queue is
+// within `wq_guard` entries of its high watermark (paper: 8).  guard=0
+// never triggers before the drain (too late to help); a huge guard keeps
+// the override on permanently (degrades BASJF to smallest-first).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("Ablation — WG-W write-drain guard (paper value: 8)",
+         "prioritise unit-remaining groups just before a drain begins");
+  print_config(opts);
+
+  const std::vector<std::uint32_t> guards = {0, 4, 8, 16, 32};
+  std::vector<std::string> head;
+  for (auto g : guards) head.push_back("guard=" + fixed(g, 0));
+  print_row("workload", head);
+
+  // The write-heavy benchmarks are where WG-W acts.
+  std::vector<std::vector<double>> cols(guards.size());
+  for (const char* name : {"nw", "SS", "sad", "PVC"}) {
+    const WorkloadProfile w = profile_by_name(name);
+    std::vector<std::string> cells;
+    for (std::size_t i = 0; i < guards.size(); ++i) {
+      const std::uint32_t g = guards[i];
+      const double ipc = mean_ipc(w, SchedulerKind::kWgW, opts,
+                                  [g](SimConfig& c) { c.wg.wq_guard = g; });
+      cols[i].push_back(ipc);
+      cells.push_back(fixed(ipc, 3));
+    }
+    print_row(name, cells);
+  }
+  std::vector<std::string> gm;
+  for (auto& col : cols) gm.push_back(fixed(geomean(col), 3));
+  print_row("geomean-IPC", gm);
+  return 0;
+}

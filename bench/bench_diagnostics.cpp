@@ -1,0 +1,42 @@
+// Diagnostics: per-(workload, scheduler) operating point.  Not a paper
+// figure — this is the calibration and sanity view used to verify the
+// simulator sits in a regime comparable to the paper's (§III statistics,
+// utilization levels, queue behaviour) before reading the figure benches.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("Diagnostics — simulator operating point per workload/scheduler",
+         "sanity view (not a paper figure)");
+  print_config(opts);
+
+  const std::vector<SchedulerKind> scheds = {
+      SchedulerKind::kGmc, SchedulerKind::kWg, SchedulerKind::kWgM,
+      SchedulerKind::kWgBw, SchedulerKind::kWgW};
+
+  for (const WorkloadProfile& w : irregular_suite()) {
+    std::printf("\n%s:\n", w.name.c_str());
+    print_row("scheduler",
+              {"IPC", "util", "rowhit", "lat_ns", "gap_ns", "ch/warp",
+               "defer", "coord", "L2hit"});
+    for (SchedulerKind s : scheds) {
+      const RunResult r = run_point(w, s, opts);
+      print_row(r.scheduler,
+                {fixed(r.ipc, 2), percent(r.bandwidth_utilization),
+                 percent(r.row_hit_rate),
+                 fixed(r.effective_mem_latency_ns, 0),
+                 fixed(r.divergence_gap_ns, 0),
+                 fixed(r.tracker.channels_per_load.mean(), 2),
+                 fixed(static_cast<double>(r.wg_merb_deferrals), 0),
+                 fixed(static_cast<double>(r.coord_messages / 1000), 0),
+                 percent(r.l2_hit_rate)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension study: shared-data-aware warp-group priority.
+//
+// The paper's Conclusions propose "prioritizing warp-groups that contain
+// blocks of data that are shared by multiple warps" as follow-on work.
+// WG-Sh implements it on top of WG-W: a warp-group's completion score is
+// discounted for every request whose DRAM row is also needed by another
+// pending warp-group, so serving it opens rows that several warps want.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("Extension — shared-data-aware warp-group priority (WG-Sh)",
+         "paper Conclusions: future work beyond WG-W; weight swept below");
+  print_config(opts);
+
+  print_row("workload", {"WG-W", "WG-Sh w=1", "w=2", "w=4", "boosts"});
+  std::vector<double> base_col, w1, w2, w4;
+  for (const WorkloadProfile& w : irregular_suite()) {
+    const double wgw = mean_ipc(w, SchedulerKind::kWgW, opts);
+    std::vector<double> ipc_w;
+    std::uint64_t boosts = 0;
+    for (std::uint32_t weight : {1u, 2u, 4u}) {
+      const auto hook = [weight](SimConfig& c) {
+        c.wg.shared_weight = weight;
+      };
+      ipc_w.push_back(mean_ipc(w, SchedulerKind::kWgShared, opts, hook));
+      if (weight == 2) {
+        boosts = run_point(w, SchedulerKind::kWgShared, opts, hook)
+                     .wg_shared_boosts;
+      }
+    }
+    base_col.push_back(wgw);
+    w1.push_back(ipc_w[0] / wgw);
+    w2.push_back(ipc_w[1] / wgw);
+    w4.push_back(ipc_w[2] / wgw);
+    print_row(w.name, {fixed(wgw, 2), fixed(ipc_w[0] / wgw, 3),
+                       fixed(ipc_w[1] / wgw, 3), fixed(ipc_w[2] / wgw, 3),
+                       fixed(static_cast<double>(boosts), 0)});
+  }
+  print_row("geomean", {"-", fixed(geomean(w1), 3), fixed(geomean(w2), 3),
+                        fixed(geomean(w4), 3), "-"});
+  std::printf("\nReading: values are WG-Sh / WG-W IPC; >1.0 means the "
+              "shared-row discount pays off on that workload.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 11: DRAM data-bus utilization under the different schedulers.
+//
+// Paper: warp-group prioritisation (WG/WG-M) interrupts row-hit streams
+// and costs bandwidth on bfs, PVC and bh; the MERB policy (WG-Bw)
+// recovers it — improving WG-M's utilization by more than 14% — by
+// overlapping each admitted row-miss with row-hit transfers in other
+// banks, while only marginally disturbing the latency-divergence gains.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("Fig. 11 — DRAM bandwidth utilization by scheduler",
+         "WG/WG-M lose utilization vs GMC on some apps; WG-Bw recovers >14%");
+  print_config(opts);
+
+  const std::vector<SchedulerKind> scheds = {
+      SchedulerKind::kGmc, SchedulerKind::kWg, SchedulerKind::kWgM,
+      SchedulerKind::kWgBw, SchedulerKind::kWgW};
+  print_row("workload", {"GMC", "WG", "WG-M", "WG-Bw", "WG-W", "defer"});
+  for (const WorkloadProfile& w : irregular_suite()) {
+    std::vector<std::string> cells;
+    std::uint64_t deferrals = 0;
+    for (std::size_t s = 0; s < scheds.size(); ++s) {
+      const RunResult r = run_point(w, scheds[s], opts);
+      cells.push_back(percent(r.bandwidth_utilization));
+      if (scheds[s] == SchedulerKind::kWgBw) deferrals = r.wg_merb_deferrals;
+    }
+    cells.push_back(fixed(static_cast<double>(deferrals), 0));
+    print_row(w.name, cells);
+  }
+  std::printf(
+      "\nnote: utilization here is demand-coupled (higher IPC pushes more "
+      "traffic).  The paper's supply-side effect — WG-M interrupting row "
+      "streams, WG-Bw deferring misses behind MERB-sized hit runs — shows "
+      "in the per-bank insertion behaviour (defer column) and in the "
+      "bench_ablation_merb sweep.\n");
+  return 0;
+}

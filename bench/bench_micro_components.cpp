@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the simulator's
+// building blocks.  These bound the host-side cost per simulated cycle and
+// catch performance regressions in the scheduler inner loops.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/policy_wg.hpp"
+#include "dram/channel.hpp"
+#include "gpu/coalescer.hpp"
+#include "mc/controller.hpp"
+#include "mc/policy_gmc.hpp"
+#include "mem/address_map.hpp"
+#include "sim/simulator.hpp"
+
+namespace latdiv {
+namespace {
+
+void BM_AddressDecode(benchmark::State& state) {
+  const AddressMap amap{AddressMapConfig{}};
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amap.decode(rng.next() & 0xFFFFFFFFFull));
+  }
+}
+BENCHMARK(BM_AddressDecode);
+
+void BM_ChannelCanIssue(benchmark::State& state) {
+  DramParams p;
+  p.refresh_enabled = false;
+  Channel ch(DramTiming::from(p));
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  const DramCommand rd{DramCmd::kRead, 0, 1};
+  Cycle now = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.can_issue(rd, now));
+    ++now;
+  }
+}
+BENCHMARK(BM_ChannelCanIssue);
+
+void BM_CoalesceDivergent(benchmark::State& state) {
+  Coalescer coal;
+  Rng rng(2);
+  WarpInstr instr;
+  instr.kind = WarpInstr::Kind::kLoad;
+  instr.active_lanes = 32;
+  for (auto& a : instr.lane_addr) a = rng.next() & 0xFFFFFF80;
+  std::vector<Addr> out;
+  for (auto _ : state) {
+    coal.coalesce(instr, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_CoalesceDivergent);
+
+void BM_ControllerTick(benchmark::State& state) {
+  DramParams p;
+  p.refresh_enabled = false;
+  const DramTiming t = DramTiming::from(p);
+  MemoryController mc(0, McConfig{}, t, std::make_unique<GmcPolicy>(),
+                      nullptr);
+  Rng rng(3);
+  Cycle now = 0;
+  for (auto _ : state) {
+    if (mc.can_accept_read() && rng.chance(0.3)) {
+      MemRequest r;
+      r.loc.bank = static_cast<BankId>(rng.below(16));
+      r.loc.row = static_cast<RowId>(rng.below(64));
+      r.tag.instr = 1 + rng.below(512);
+      mc.push(r, now);
+    }
+    mc.tick(now);
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_ControllerTick);
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.workload = profile_by_name("sssp");
+  cfg.scheduler = SchedulerKind::kWgW;
+  cfg.max_cycles = 1;  // stepped manually
+  Simulator sim(cfg);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.now()));
+}
+BENCHMARK(BM_SimulatorCycle);
+
+}  // namespace
+}  // namespace latdiv
+
+BENCHMARK_MAIN();

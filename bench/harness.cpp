@@ -1,0 +1,115 @@
+#include "bench/harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace latdiv::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> std::uint64_t {
+      return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : 0;
+    };
+    if (std::strcmp(argv[i], "--cycles") == 0) {
+      opts.cycles = value();
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      opts.warmup = value();
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = value();
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
+      opts.seeds = static_cast<std::uint32_t>(value());
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.cycles /= 4;
+      opts.warmup /= 4;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--cycles N] [--warmup N] [--seed N] [--quick]\n",
+                   argv[0]);
+    }
+  }
+  if (opts.warmup >= opts.cycles) opts.warmup = opts.cycles / 10;
+  return opts;
+}
+
+RunResult run_point(const WorkloadProfile& workload, SchedulerKind scheduler,
+                    const Options& opts, const ConfigHook& hook) {
+  SimConfig cfg;
+  cfg.workload = workload;
+  cfg.scheduler = scheduler;
+  cfg.max_cycles = opts.cycles;
+  cfg.warmup_cycles = opts.warmup;
+  cfg.seed = opts.seed;
+  if (hook) hook(cfg);
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+double mean_ipc(const WorkloadProfile& workload, SchedulerKind scheduler,
+                const Options& opts, const ConfigHook& hook) {
+  double sum = 0.0;
+  for (std::uint32_t t = 0; t < opts.seeds; ++t) {
+    Options o = opts;
+    o.seed = opts.seed + t;
+    sum += run_point(workload, scheduler, o, hook).ipc;
+  }
+  return sum / opts.seeds;
+}
+
+std::vector<std::vector<RunResult>> run_matrix(
+    const std::vector<WorkloadProfile>& workloads,
+    const std::vector<SchedulerKind>& schedulers, const Options& opts,
+    const ConfigHook& hook) {
+  std::vector<std::vector<RunResult>> out;
+  out.reserve(workloads.size());
+  for (const WorkloadProfile& w : workloads) {
+    std::vector<RunResult> row;
+    row.reserve(schedulers.size());
+    for (SchedulerKind s : schedulers) {
+      row.push_back(run_point(w, s, opts, hook));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void print_row(const std::string& head, const std::vector<std::string>& cells,
+               int cell_width) {
+  std::printf("%-16s", head.c_str());
+  for (const std::string& c : cells) std::printf("%*s", cell_width, c.c_str());
+  std::printf("\n");
+}
+
+void banner(const std::string& figure, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper reference: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_config(const Options& opts) {
+  const SimConfig cfg;
+  std::printf(
+      "config (Table II): %u SMs x %u warps, %u channels, GDDR5 tCK=%.3fns, "
+      "RQ/WQ %u/%u (watermarks %u/%u), L1 %uKB/%u-way, L2 %uKB/%u-way\n",
+      cfg.num_sms, cfg.sm.warps, cfg.icnt.partitions, cfg.dram.tck_ns,
+      cfg.mc.read_queue_size, cfg.mc.write_queue_size,
+      cfg.mc.wq_high_watermark, cfg.mc.wq_low_watermark,
+      cfg.sm.l1.size_bytes / 1024, cfg.sm.l1.ways,
+      cfg.partition.l2.size_bytes / 1024, cfg.partition.l2.ways);
+  std::printf("run: %llu cycles (%llu warmup), seed %llu\n",
+              static_cast<unsigned long long>(opts.cycles),
+              static_cast<unsigned long long>(opts.warmup),
+              static_cast<unsigned long long>(opts.seed));
+}
+
+}  // namespace latdiv::bench

@@ -1,0 +1,65 @@
+// Shared driver for the figure/table reproduction benches.
+//
+// Every bench binary follows the same pattern: run a matrix of
+// (workload x scheduler) simulations, then print the rows/series the
+// paper's figure reports.  Absolute numbers come from our simulator, so
+// they will not match the authors' testbed; the *shape* (who wins, by
+// roughly what factor, where crossovers fall) is the reproduction target
+// and each bench prints the paper's reference values alongside.
+//
+// Common CLI:
+//   --cycles N    simulated DRAM command-clock cycles per run
+//   --warmup N    warmup cycles excluded from IPC
+//   --seed N      workload seed
+//   --quick       1/4-length run for smoke testing
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace latdiv::bench {
+
+struct Options {
+  Cycle cycles = 50'000;
+  Cycle warmup = 5'000;
+  std::uint64_t seed = 1;
+  std::uint32_t seeds = 1;  ///< independent trials averaged per point
+
+  static Options parse(int argc, char** argv);
+};
+
+/// Hook to adjust the SimConfig before construction (ablation knobs).
+using ConfigHook = std::function<void(SimConfig&)>;
+
+/// Run one (workload, scheduler) point (first seed only).
+RunResult run_point(const WorkloadProfile& workload, SchedulerKind scheduler,
+                    const Options& opts, const ConfigHook& hook = {});
+
+/// Mean IPC across opts.seeds independent trials of one point.
+double mean_ipc(const WorkloadProfile& workload, SchedulerKind scheduler,
+                const Options& opts, const ConfigHook& hook = {});
+
+/// Run a full matrix; results indexed [workload][scheduler-order-given].
+std::vector<std::vector<RunResult>> run_matrix(
+    const std::vector<WorkloadProfile>& workloads,
+    const std::vector<SchedulerKind>& schedulers, const Options& opts,
+    const ConfigHook& hook = {});
+
+/// Geometric mean of a positive series.
+double geomean(const std::vector<double>& values);
+
+/// Print one table row of fixed-width cells.
+void print_row(const std::string& head, const std::vector<std::string>& cells,
+               int cell_width = 10);
+
+/// Standard bench banner with the paper reference for this experiment.
+void banner(const std::string& figure, const std::string& claim);
+
+/// Table II configuration echo (paper's simulation parameters).
+void print_config(const Options& opts);
+
+}  // namespace latdiv::bench

@@ -1,0 +1,83 @@
+// Miss-Status Holding Register file.
+//
+// Tracks outstanding line fetches and merges secondary misses to the same
+// line.  Each entry holds the waiting requests so the owner (SM or L2
+// partition) can replay them when the fill returns.  A full MSHR file (or
+// a full merge list) back-pressures the requester, exactly like hardware.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace latdiv {
+
+struct MshrConfig {
+  std::uint32_t entries = 32;
+  std::uint32_t max_merged = 8;  ///< waiters per entry, primary included
+};
+
+struct MshrStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t stalls_full = 0;
+};
+
+class MshrFile {
+ public:
+  explicit MshrFile(const MshrConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] bool tracking(Addr line) const {
+    return entries_.contains(line);
+  }
+
+  /// Can `line` accept a new request (fresh entry or merge slot)?
+  [[nodiscard]] bool can_accept(Addr line) const {
+    auto it = entries_.find(line);
+    if (it != entries_.end()) return it->second.size() < cfg_.max_merged;
+    return entries_.size() < cfg_.entries;
+  }
+
+  /// Register `req` as waiting on `line`.  Returns true if this created a
+  /// new entry (i.e. the caller must send a fetch downstream); false if
+  /// it merged into an outstanding fetch.
+  bool add(Addr line, const MemRequest& req) {
+    LATDIV_ASSERT(can_accept(line), "MSHR overflow (check can_accept)");
+    auto [it, inserted] = entries_.try_emplace(line);
+    it->second.push_back(req);
+    if (inserted) {
+      ++stats_.allocations;
+    } else {
+      ++stats_.merges;
+    }
+    return inserted;
+  }
+
+  /// The fill for `line` arrived: remove and return all waiters.
+  [[nodiscard]] std::vector<MemRequest> release(Addr line) {
+    auto it = entries_.find(line);
+    LATDIV_ASSERT(it != entries_.end(), "fill for untracked line");
+    std::vector<MemRequest> waiters = std::move(it->second);
+    entries_.erase(it);
+    return waiters;
+  }
+
+  void count_stall() { ++stats_.stalls_full; }
+
+  [[nodiscard]] std::size_t outstanding() const { return entries_.size(); }
+  [[nodiscard]] std::size_t free_entries() const {
+    return cfg_.entries - entries_.size();
+  }
+  [[nodiscard]] const MshrStats& stats() const { return stats_; }
+
+ private:
+  MshrConfig cfg_;
+  std::unordered_map<Addr, std::vector<MemRequest>> entries_;
+  MshrStats stats_;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,31 @@
+// Assertion and fatal-error helpers.
+//
+// LATDIV_ASSERT is active in all build types: a cycle-level simulator whose
+// timing checker silently accepts an illegal command produces numbers that
+// look plausible and are wrong, so internal invariants stay on even in
+// release benchmarking builds (the cost is a well-predicted branch).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace latdiv::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "latdiv: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace latdiv::detail
+
+#define LATDIV_ASSERT(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::latdiv::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)
+
+#define LATDIV_UNREACHABLE(msg) \
+  ::latdiv::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every stochastic choice in latdiv flows through an explicitly seeded
+// Xoshiro256** instance so that a simulation is reproducible bit-for-bit
+// from (config, seed).  std::mt19937_64 would also work but is ~5x slower
+// and its distributions are not stable across standard libraries; we need
+// identical workloads on any platform to compare schedulers fairly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+/// Xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initialise state from a 64-bit seed via SplitMix64 (the
+  /// recommended seeding procedure; avoids the all-zero state).
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    LATDIV_ASSERT(bound != 0, "Rng::below(0)");
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    LATDIV_ASSERT(lo <= hi, "Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric-ish positive integer with mean approximately `mean`
+  /// (truncated at `cap`).  Used for burst-length style distributions.
+  std::uint64_t geometric(double mean, std::uint64_t cap) noexcept {
+    LATDIV_ASSERT(mean >= 1.0, "geometric mean must be >= 1");
+    std::uint64_t n = 1;
+    const double p_continue = 1.0 - 1.0 / mean;
+    while (n < cap && chance(p_continue)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace latdiv

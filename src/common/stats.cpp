@@ -1,0 +1,19 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace latdiv {
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace latdiv

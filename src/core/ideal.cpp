@@ -1,0 +1,70 @@
+#include "core/ideal.hpp"
+
+#include <algorithm>
+
+namespace latdiv {
+
+void ZldPolicy::retarget(const MemoryController& mc, MemRequest& req) {
+  const auto banks = static_cast<BankId>(mc.channel().timing().banks);
+  BankId best = 0;
+  bool best_open = false;
+  std::size_t best_depth = static_cast<std::size_t>(-1);
+  for (BankId b = 0; b < banks; ++b) {
+    if (!mc.bank_queue_has_space(b)) continue;
+    const bool open = mc.predicted_row(b) != kNoRow;
+    const std::size_t depth = mc.bank_queue_size(b);
+    // Prefer banks with an open/predicted row (no activate needed), then
+    // the shallowest queue.
+    if (best_depth == static_cast<std::size_t>(-1) ||
+        (open && !best_open) ||
+        (open == best_open && depth < best_depth)) {
+      best = b;
+      best_open = open;
+      best_depth = depth;
+    }
+  }
+  req.loc.bank = best;
+  req.loc.bank_group = static_cast<BankGroupId>(
+      best / mc.channel().timing().banks_per_group);
+  const RowId row = mc.predicted_row(best);
+  req.loc.row = (row == kNoRow) ? 0 : row;
+}
+
+void ZldPolicy::schedule_reads(MemoryController& mc, Cycle now) {
+  auto& rq = mc.read_queue();
+  if (rq.empty()) return;
+
+  // 1) Flush secondaries of started instructions: pure bus transfers.
+  for (auto it = rq.begin(); it != rq.end();) {
+    if (!coord_->started(it->tag.instr)) {
+      ++it;
+      continue;
+    }
+    MemRequest req = *it;
+    retarget(mc, req);
+    if (!mc.bank_queue_has_space(req.loc.bank)) {
+      ++it;
+      continue;
+    }
+    it = rq.erase(it);
+    mc.send_to_bank(req, now);
+  }
+
+  // 2) Dispatch one primary (GMC-flavoured: oldest row-hit, else oldest).
+  auto best = rq.end();
+  for (auto it = rq.begin(); it != rq.end(); ++it) {
+    if (!mc.bank_queue_has_space(it->loc.bank)) continue;
+    if (mc.predicted_row(it->loc.bank) == it->loc.row) {
+      best = it;
+      break;
+    }
+    if (best == rq.end()) best = it;
+  }
+  if (best == rq.end()) return;
+  MemRequest req = *best;
+  rq.erase(best);
+  coord_->mark_started(req.tag.instr);
+  mc.send_to_bank(req, now);
+}
+
+}  // namespace latdiv

@@ -1,0 +1,59 @@
+// Idealised Zero-Latency-Divergence memory model (paper §III-B, Fig. 4).
+//
+// The paper's opportunity study asks: what if all of a warp's memory
+// requests returned in close succession once the first is serviced?  The
+// model "abstracts away the bank conflicts for all but one request for
+// each warp, but still faithfully models DRAM bus bandwidth and
+// contention."
+//
+// Realisation: per dynamic warp instruction, the globally-first request to
+// reach a transaction scheduler is the *primary* and is scheduled through
+// the full DRAM timing path (GMC-like).  Once any request of the
+// instruction has been dispatched anywhere, the instruction is *started*
+// (shared ZldCoordinator) and every other request of that instruction is
+// retargeted to a currently-open row on the least-loaded bank of its
+// channel — it costs exactly one data burst of bus bandwidth and queueing,
+// but no precharge/activate serialisation.  The warp's completion is thus
+// governed by its one real request, which is the definition of zero
+// latency divergence.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "mc/controller.hpp"
+#include "mc/policy.hpp"
+
+namespace latdiv {
+
+/// Shared across the six controllers: which warp instructions have had a
+/// request dispatched somewhere already.
+class ZldCoordinator {
+ public:
+  void mark_started(WarpInstrUid instr) { started_.insert(instr); }
+  [[nodiscard]] bool started(WarpInstrUid instr) const {
+    return started_.contains(instr);
+  }
+
+ private:
+  std::unordered_set<WarpInstrUid> started_;
+};
+
+class ZldPolicy final : public TransactionScheduler {
+ public:
+  explicit ZldPolicy(std::shared_ptr<ZldCoordinator> coord)
+      : coord_(std::move(coord)) {}
+
+  [[nodiscard]] const char* name() const override { return "ZLD-ideal"; }
+
+  void schedule_reads(MemoryController& mc, Cycle now) override;
+
+ private:
+  /// Rewrite a secondary request onto an open row of the least-loaded
+  /// bank so it is a pure bandwidth cost.
+  static void retarget(const MemoryController& mc, MemRequest& req);
+
+  std::shared_ptr<ZldCoordinator> coord_;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,40 @@
+#include "core/merb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+MerbTable::MerbTable(const DramTiming& timing) {
+  LATDIV_ASSERT(timing.banks >= 1, "need at least one bank");
+  values_.reserve(timing.banks);
+  values_.push_back(kSingleBankMerb);  // b = 1
+
+  const double miss_overhead =
+      static_cast<double>(timing.trtp + timing.trp + timing.trcd);
+  const double act_gap =
+      std::max(static_cast<double>(timing.trrd),
+               static_cast<double>(timing.tfaw) / 4.0);
+  const double burst = static_cast<double>(timing.tburst);
+
+  for (std::uint32_t b = 2; b <= timing.banks; ++b) {
+    const double per_other_bank =
+        miss_overhead / (static_cast<double>(b - 1) * burst);
+    const double floor_by_act_rate = act_gap / burst;
+    const double merb = std::max(per_other_bank, floor_by_act_rate);
+    const auto rounded =
+        static_cast<std::uint32_t>(std::ceil(merb - 1e-9));
+    values_.push_back(std::min(rounded, kSingleBankMerb));
+  }
+}
+
+std::uint32_t MerbTable::value(std::uint32_t banks_with_pending) const {
+  if (banks_with_pending == 0) banks_with_pending = 1;
+  const std::size_t idx =
+      std::min<std::size_t>(banks_with_pending - 1, values_.size() - 1);
+  return values_[idx];
+}
+
+}  // namespace latdiv

@@ -1,0 +1,48 @@
+// Minimum Efficient Row Burst (paper §IV-D, Table I).
+//
+// MERB(b) is the number of row-hit data transfers that must be scheduled
+// to other banks to fully hide the overhead of one row-miss (precharge +
+// activate) in a given bank, as a function of the number of banks with
+// pending work b:
+//
+//             /  max( (tRTP + tRP + tRCD) / ((b-1) * tBURST),
+//   MERB(b) = |       max(tRRD, tFAW/4) / tBURST )                 b > 1
+//             \  31  (5-bit counter limit; single-bank case cannot
+//                     hide the overhead at all)                    b = 1
+//
+// With the paper's GDDR5 timings this evaluates to Table I:
+//   banks:  1   2   3   4   5   6..16
+//   MERB : 31  20  10   7   5   5
+//
+// The table is computed once from the timing parameters (the paper notes
+// it "can be computed at boot-time or loaded from the boot ROM").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/params.hpp"
+
+namespace latdiv {
+
+class MerbTable {
+ public:
+  /// Counter width is 5 bits in the paper's hardware budget.
+  static constexpr std::uint32_t kSingleBankMerb = 31;
+
+  explicit MerbTable(const DramTiming& timing);
+
+  /// MERB threshold given the number of banks with pending traffic.
+  /// Values above the table range clamp to the last entry; 0 pending
+  /// banks is treated as 1 (the caller is about to create pending work).
+  [[nodiscard]] std::uint32_t value(std::uint32_t banks_with_pending) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& table() const {
+    return values_;
+  }
+
+ private:
+  std::vector<std::uint32_t> values_;  // index 0 => b=1
+};
+
+}  // namespace latdiv

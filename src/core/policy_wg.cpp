@@ -1,0 +1,481 @@
+#include "core/policy_wg.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+namespace {
+
+/// Requests of `instr` currently waiting in the read queue.
+std::uint32_t pending_in_queue(const MemoryController& mc, WarpInstrUid instr) {
+  std::uint32_t n = 0;
+  for (const MemRequest& req :
+       mc.read_queue()) {
+    if (req.tag.instr == instr) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void WgPolicy::on_push(MemoryController& mc, const MemRequest& req,
+                       Cycle now) {
+  if (req.kind != ReqKind::kRead) return;  // warp-groups are read-only
+  WgGroupMeta& meta = groups_[req.tag.instr];
+  if (meta.seen == 0) {
+    meta.tag = req.tag;
+    meta.first_arrival = now;
+    // A remote controller may have selected this warp before its
+    // requests reached us; replay any matching recent message.
+    if (cfg_.multi_channel) {
+      while (!recent_msgs_.empty() &&
+             recent_msgs_.front().at + cfg_.coord_msg_ttl < now) {
+        recent_msgs_.pop_front();
+      }
+      for (const RecentMsg& m : recent_msgs_) {
+        if (m.instr == req.tag.instr) {
+          CoordMsg replay;
+          replay.tag = req.tag;
+          replay.score = m.score;
+          ++meta.seen;  // count first so the handler sees it pending
+          on_remote_selection(mc, replay, now);
+          --meta.seen;
+          break;
+        }
+      }
+    }
+  }
+  ++meta.seen;
+}
+
+void WgPolicy::on_group_complete(MemoryController&, const WarpTag& tag,
+                                 Cycle) {
+  auto it = groups_.find(tag.instr);
+  if (it == groups_.end()) return;  // every request hit in the caches
+  it->second.complete = true;
+  ++stats_.groups_completed;
+  forget_if_done(tag.instr);
+}
+
+void WgPolicy::on_remote_selection(MemoryController& mc, const CoordMsg& msg,
+                                   Cycle now) {
+  if (!cfg_.multi_channel) return;
+  auto it = groups_.find(msg.tag.instr);
+  if (it == groups_.end() || it->second.pushed >= it->second.seen) {
+    // Nothing to boost yet — remember the message briefly in case this
+    // warp's requests are still in flight towards us.
+    recent_msgs_.push_back(RecentMsg{msg.tag.instr, msg.score, now});
+    if (recent_msgs_.size() > 64) recent_msgs_.pop_front();
+    return;
+  }
+  WgGroupMeta& meta = it->second;
+  const Score local = score_group(mc, msg.tag.instr);
+  const std::uint32_t lc = local.completion > meta.coord_bonus
+                               ? local.completion - meta.coord_bonus
+                               : 0;
+  // Another controller expects to finish this warp's requests at RC; if
+  // we are the laggard (LC > RC), boost the group by the difference.
+  if (lc > msg.score) {
+    meta.coord_bonus += lc - msg.score;
+    ++stats_.coord_msgs_applied;
+  }
+}
+
+void WgPolicy::on_drain_start(MemoryController& mc, Cycle) {
+  std::size_t stalled = 0;
+  std::size_t small = 0;
+  for (const auto& [instr, meta] : groups_) {
+    const std::uint32_t remaining = meta.seen - meta.pushed;
+    if (remaining == 0) continue;
+    ++stalled;
+    const bool unit_sized = meta.seen == 1;
+    const bool orphaned = meta.pushed > 0 && remaining <= cfg_.orphan_limit;
+    if (unit_sized || orphaned) ++small;
+  }
+  mc.record_drain_stall(stalled, small);
+}
+
+bool WgPolicy::write_pressure(const MemoryController& mc) const {
+  if (!cfg_.write_aware) return false;
+  // Only the window BEFORE a drain matters: once the drain is underway
+  // the stalled groups are already stalled, and right after it the
+  // occupancy passes back down through the band harmlessly.
+  if (mc.in_write_drain()) return false;
+  return mc.write_queue().size() + cfg_.wq_guard >=
+         mc.config().wq_high_watermark;
+}
+
+std::uint32_t WgPolicy::bank_queue_score(const MemoryController& mc,
+                                         BankId bank) const {
+  std::uint32_t score = 0;
+  RowId running = mc.channel().open_row(bank);
+  for (const MemRequest& queued : mc.bank_queue(bank)) {
+    score += (queued.loc.row == running) ? cfg_.score_hit : cfg_.score_miss;
+    running = queued.loc.row;
+  }
+  return score;
+}
+
+WgPolicy::Score WgPolicy::score_group(const MemoryController& mc,
+                                      WarpInstrUid instr) const {
+  // Walk the group's queued requests in order, simulating each touched
+  // bank's planned row sequence starting from the controller's predictor.
+  struct BankAccum {
+    BankId bank;
+    RowId running;
+    std::uint32_t score;
+  };
+  // A warp touches ~2 banks per controller on average; linear scan of a
+  // tiny vector beats a map here.
+  std::vector<BankAccum> banks;
+  Score out;
+  for (const MemRequest& req :
+       mc.read_queue()) {
+    if (req.tag.instr != instr) continue;
+    auto it = std::find_if(banks.begin(), banks.end(), [&](const BankAccum& a) {
+      return a.bank == req.loc.bank;
+    });
+    if (it == banks.end()) {
+      banks.push_back(BankAccum{req.loc.bank, mc.predicted_row(req.loc.bank),
+                                bank_queue_score(mc, req.loc.bank)});
+      it = banks.end() - 1;
+    }
+    const bool hit = req.loc.row == it->running;
+    it->score += hit ? cfg_.score_hit : cfg_.score_miss;
+    if (hit) ++out.row_hits;
+    it->running = req.loc.row;
+  }
+  for (const BankAccum& a : banks) {
+    out.completion = std::max(out.completion, a.score);
+  }
+  return out;
+}
+
+void WgPolicy::forget_if_done(WarpInstrUid instr) {
+  auto it = groups_.find(instr);
+  if (it == groups_.end()) return;
+  const WgGroupMeta& meta = it->second;
+  if (meta.complete && meta.pushed >= meta.seen &&
+      (!current_ || *current_ != instr)) {
+    groups_.erase(it);
+  }
+}
+
+void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
+  auto& rq = mc.read_queue();
+  if (rq.empty()) return;
+
+  // Bucket the read queue by warp instruction (one pass), tracking the
+  // per-bank footprint so a group is only eligible when its requests FIT
+  // the bank command queues right now.  Selecting a group that cannot be
+  // pulled would head-of-line-block the transaction scheduler behind one
+  // saturated bank while other banks starve.
+  struct Cand {
+    WarpInstrUid instr;
+    std::uint32_t count = 0;
+    Cycle oldest = kNoCycle;
+    std::array<std::uint8_t, 32> per_bank{};
+    std::uint32_t opens_row_mask = 0;  ///< banks where this group row-misses
+  };
+  std::vector<Cand> cands;
+  for (const MemRequest& req : rq) {
+    auto it = std::find_if(cands.begin(), cands.end(), [&](const Cand& c) {
+      return c.instr == req.tag.instr;
+    });
+    if (it == cands.end()) {
+      cands.push_back(Cand{req.tag.instr, 1, req.arrived_at_mc, {}, 0});
+      it = cands.end() - 1;
+    } else {
+      ++it->count;
+      it->oldest = std::min(it->oldest, req.arrived_at_mc);
+    }
+    if (it->per_bank[req.loc.bank] == 0 &&
+        mc.predicted_row(req.loc.bank) != req.loc.row) {
+      it->opens_row_mask |= 1u << req.loc.bank;
+    }
+    ++it->per_bank[req.loc.bank];
+  }
+  const auto banks = static_cast<std::size_t>(mc.channel().timing().banks);
+  // A group is selectable when (a) its requests fit the bank command
+  // queues and (b) any bank whose row it would close has drained — the
+  // same stream hysteresis the GMC row sorter applies: a hit for the
+  // still-open row may be one arrival away, and closing early forfeits
+  // it.  The liveness fallback below ignores (b).
+  const auto depth_cap = mc.config().bank_queue_depth;
+  auto fits = [&](const Cand& c, bool require_drained) {
+    for (std::size_t b = 0; b < banks; ++b) {
+      if (c.per_bank[b] == 0) continue;
+      // Groups larger than a bank's command queue can never fit whole;
+      // they become selectable once the full queue depth is free and
+      // then drain incrementally (drain_current keeps them current).
+      const auto need = std::min<std::uint32_t>(c.per_bank[b], depth_cap);
+      if (!mc.bank_queue_has_space(static_cast<BankId>(b), need)) {
+        return false;
+      }
+      if (require_drained && (c.opens_row_mask & (1u << b)) != 0 &&
+          mc.bank_queue_size(static_cast<BankId>(b)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // WG-W: imminent write drain — unit-remaining complete groups first.
+  // Two tiers: unit groups that respect the stream hysteresis are
+  // preferred; only when none exists does drain-imminence justify
+  // closing a row early to finish a warp before the drain.
+  if (write_pressure(mc)) {
+    const Cand* best = nullptr;
+    for (const bool require_drained : {true, false}) {
+      for (const Cand& c : cands) {
+        const auto git = groups_.find(c.instr);
+        if (git == groups_.end() || !git->second.complete) continue;
+        if (c.count != 1 || !fits(c, require_drained)) continue;
+        if (best == nullptr || c.oldest < best->oldest) best = &c;
+      }
+      if (best != nullptr) break;
+    }
+    if (best != nullptr) {
+      current_ = best->instr;
+      ++stats_.groups_selected;
+      ++stats_.writeaware_selections;
+      stats_.group_size.add(groups_.at(best->instr).seen);
+      if (cfg_.multi_channel) {
+        mc.announce_selection(groups_.at(best->instr).tag, 0);
+      }
+      return;
+    }
+  }
+
+  // Shared-row census for the shared-data extension: how many groups
+  // touch each (bank, row) pair in the queue.
+  struct RowUse {
+    std::uint32_t key;
+    WarpInstrUid first_instr;
+    bool shared;
+  };
+  std::vector<RowUse> row_uses;
+  if (cfg_.shared_data_boost) {
+    for (const MemRequest& req : rq) {
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(req.loc.bank) << 24) |
+          (req.loc.row & 0xFFFFFF);
+      auto it = std::find_if(row_uses.begin(), row_uses.end(),
+                             [&](const RowUse& u) { return u.key == key; });
+      if (it == row_uses.end()) {
+        row_uses.push_back(RowUse{key, req.tag.instr, false});
+      } else if (it->first_instr != req.tag.instr) {
+        it->shared = true;
+      }
+    }
+  }
+  auto shared_requests = [&](WarpInstrUid instr) -> std::uint32_t {
+    if (!cfg_.shared_data_boost) return 0;
+    std::uint32_t n = 0;
+    for (const MemRequest& req : rq) {
+      if (req.tag.instr != instr) continue;
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(req.loc.bank) << 24) |
+          (req.loc.row & 0xFFFFFF);
+      for (const RowUse& u : row_uses) {
+        if (u.key == key && u.shared) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+
+  // BASJF: lowest effective completion score among complete groups; ties
+  // go to the group with more row hits, then the older group.
+  const Cand* best = nullptr;
+  Score best_score{};
+  std::uint32_t best_effective = 0;
+  bool best_was_boosted = false;
+  for (const Cand& c : cands) {
+    const auto git = groups_.find(c.instr);
+    LATDIV_ASSERT(git != groups_.end(), "queued request without group meta");
+    if (!git->second.complete || !fits(c, /*require_drained=*/true)) continue;
+    const Score s = score_group(mc, c.instr);
+    std::uint32_t bonus = git->second.coord_bonus;
+    std::uint32_t shared_bonus = 0;
+    if (cfg_.shared_data_boost) {
+      shared_bonus = cfg_.shared_weight * shared_requests(c.instr);
+      bonus += shared_bonus;
+    }
+    const std::uint32_t eff = s.completion > bonus ? s.completion - bonus : 0;
+    const bool better =
+        best == nullptr || eff < best_effective ||
+        (eff == best_effective &&
+         (s.row_hits > best_score.row_hits ||
+          (s.row_hits == best_score.row_hits && c.oldest < best->oldest)));
+    if (better) {
+      best = &c;
+      best_score = s;
+      best_effective = eff;
+      best_was_boosted = shared_bonus > 0;
+    }
+  }
+  if (best != nullptr && best_was_boosted) ++stats_.shared_boosts;
+
+  if (best == nullptr) {
+    // No fully-formed warp-group.  Liveness fallback: under queue pressure
+    // or age limit, drain the group holding the oldest request so the
+    // remaining members of other groups can reach the controller.
+    const bool pressure = rq.size() + cfg_.rq_pressure_slack >= rq.capacity();
+    const Cand* oldest = nullptr;
+    for (const Cand& c : cands) {
+      if (!fits(c, /*require_drained=*/false)) continue;
+      if (oldest == nullptr || c.oldest < oldest->oldest) oldest = &c;
+    }
+    if (oldest == nullptr) return;  // every candidate waits on bank space
+    if (!pressure && now - oldest->oldest < cfg_.fallback_age) return;
+    current_ = oldest->instr;
+    ++stats_.groups_selected;
+    ++stats_.fallback_selections;
+    stats_.group_size.add(groups_.at(oldest->instr).seen);
+    return;
+  }
+
+  current_ = best->instr;
+  ++stats_.groups_selected;
+  stats_.group_size.add(groups_.at(best->instr).seen);
+  if (cfg_.multi_channel) {
+    mc.announce_selection(groups_.at(best->instr).tag, best_effective);
+  }
+}
+
+bool WgPolicy::push_filler(MemoryController& mc, BankId bank, Cycle now) {
+  auto& rq = mc.read_queue();
+  const RowId target_row = mc.predicted_row(bank);
+  if (target_row == kNoRow || !mc.bank_queue_has_space(bank)) return false;
+
+  // Prefer the filler whose warp-group is closest to completion at this
+  // controller (paper: overlap the miss with hits from nearly-complete
+  // warps); among ties, the oldest request.
+  std::unordered_map<WarpInstrUid, std::uint32_t> remaining;
+  for (const MemRequest& req : rq) ++remaining[req.tag.instr];
+
+  auto best = rq.end();
+  std::uint32_t best_remaining = 0;
+  for (auto it = rq.begin(); it != rq.end(); ++it) {
+    if (it->loc.bank != bank || it->loc.row != target_row) continue;
+    if (current_ && it->tag.instr == *current_) continue;  // not a filler
+    const std::uint32_t rem = remaining.at(it->tag.instr);
+    if (best == rq.end() || rem < best_remaining) {
+      best = it;
+      best_remaining = rem;
+    }
+  }
+  if (best == rq.end()) return false;
+  MemRequest req = *best;
+  rq.erase(best);
+  mc.send_to_bank(req, now);
+  ++groups_.at(req.tag.instr).pushed;
+  return true;
+}
+
+std::uint32_t WgPolicy::drain_current(MemoryController& mc, Cycle now) {
+  LATDIV_ASSERT(current_.has_value(), "drain without a selected group");
+  auto& rq = mc.read_queue();
+  std::uint32_t pushes = 0;
+
+  // The bank table services each bank's slice of the warp-group as a
+  // row-sorted stream: requests extending a bank's current row go first,
+  // so the group's intra-warp row locality survives the (arbitrary)
+  // arrival order.  Two passes: row-extending requests, then the rest.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto it = rq.begin();
+    while (it != rq.end() && pushes < cfg_.max_pushes_per_cycle) {
+      if (it->tag.instr != *current_) {
+        ++it;
+        continue;
+      }
+      if (pass == 0 && mc.predicted_row(it->loc.bank) != it->loc.row) {
+        ++it;  // misses wait for the second pass
+        continue;
+      }
+    const BankId bank = it->loc.bank;
+    if (!mc.bank_queue_has_space(bank)) {
+      ++it;  // this bank is saturated; other banks of the group may go
+      continue;
+    }
+    const bool miss = mc.predicted_row(bank) != it->loc.row;
+    if (cfg_.merb && miss) {
+      const std::uint32_t threshold = merb_.value(mc.banks_with_work());
+      if (mc.tail_streak(bank) < threshold) {
+        if (push_filler(mc, bank, now)) {
+          ++stats_.merb_deferrals;
+          ++pushes;
+          it = rq.begin();  // erase invalidated iterators; rescan
+          continue;
+        }
+        // No fillers available: nothing to hide behind; admit the miss.
+      } else {
+        // Threshold met — orphan control: if only 1..orphan_limit hits to
+        // the outgoing row remain, service them before closing it.
+        std::uint32_t fillers = 0;
+        const RowId target = mc.predicted_row(bank);
+        for (const MemRequest& req : rq) {
+          if (req.loc.bank == bank && req.loc.row == target &&
+              req.tag.instr != *current_) {
+            ++fillers;
+          }
+        }
+        if (fillers >= 1 && fillers <= cfg_.orphan_limit) {
+          bool pushed_any = false;
+          while (pushes < cfg_.max_pushes_per_cycle &&
+                 push_filler(mc, bank, now)) {
+            ++stats_.orphan_topups;
+            ++pushes;
+            pushed_any = true;
+          }
+          if (pushed_any) {
+            it = rq.begin();
+            continue;
+          }
+        }
+      }
+      if (!mc.bank_queue_has_space(bank)) {
+        ++it;
+        continue;
+      }
+    }
+      MemRequest req = *it;
+      it = rq.erase(it);
+      mc.send_to_bank(req, now);
+      ++groups_.at(req.tag.instr).pushed;
+      ++pushes;
+      if (pass == 0) it = rq.begin();  // a new tail row may unlock more hits
+    }
+  }
+  return pushes;
+}
+
+void WgPolicy::schedule_reads(MemoryController& mc, Cycle now) {
+  // Several rounds per cycle: each selected group now fits its bank
+  // queues by construction, so a round either pulls a whole group or
+  // stops — multiple small groups can be pulled in one cycle, keeping
+  // every bank fed (the GMC feeds all banks in parallel; the warp-aware
+  // scheduler must not fall behind on sheer insertion throughput).
+  for (int round = 0; round < 4; ++round) {
+    if (!current_) select_next_group(mc, now);
+    if (!current_) return;
+    const WarpInstrUid instr = *current_;
+    drain_current(mc, now);
+    if (pending_in_queue(mc, instr) == 0) {
+      // Fully pulled (or, for a fallback-selected incomplete group, all
+      // of its received requests pulled) — move on.
+      current_.reset();
+      forget_if_done(instr);
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace latdiv

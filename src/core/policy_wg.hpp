@@ -1,0 +1,174 @@
+// Warp-group scheduling — the paper's contribution (§IV).
+//
+// One policy class implements the whole WG family; the paper's four design
+// points are feature flags layered bottom-up exactly as in the evaluation:
+//
+//   WG     (§IV-B)  bank-aware shortest-job-first over *warp-groups*: all
+//                   requests of one warp at this controller are scheduled
+//                   as a unit; groups are ranked by an estimated completion
+//                   time (row-hit=1 / row-miss=3 per request, plus the
+//                   score of everything already queued at each bank; the
+//                   group score is the max over its banks) and the lowest
+//                   score wins, ties broken by most row-hits.
+//   WG-M   (§IV-C)  + controllers broadcast (warp id, local score) when
+//                   they select a group; a receiver holding the same
+//                   warp's group lowers its local score by (LC - RC) when
+//                   the local estimate LC exceeds the remote RC.
+//   WG-Bw  (§IV-D)  + MERB: a row-miss from the selected group is admitted
+//                   to a bank only after that bank's planned row-hit run
+//                   reaches the MERB threshold; pending row hits from
+//                   other (nearly-complete first) warps fill the gap, and
+//                   the "orphan control" rule tops up runs that would
+//                   leave only 1-2 stranded hits behind.
+//   WG-W   (§IV-E)  + write awareness: once the write queue is within 8
+//                   entries of its high watermark, warp-groups with a
+//                   single remaining request are served first regardless
+//                   of score, so an imminent drain does not strand
+//                   almost-finished warps.
+//
+// Requests physically stay in the controller's 64-entry read queue until
+// pulled; the warp sorter here is the paper's 128-entry <SM-id, Warp-id>
+// tracking structure (we key it by the dynamic warp instruction, which is
+// unique per in-flight load since warps block on loads).
+//
+// Liveness beyond the paper's text: if the read queue fills with requests
+// of groups that are all incomplete, no group would ever become eligible
+// and the controller would deadlock (the remaining requests of every group
+// are stuck behind the full queue).  When no complete group exists and the
+// queue is under pressure — or the oldest request exceeds an age bound —
+// the policy falls back to draining the group that contains the oldest
+// request.  Such partially-serviced groups are the "orphaned" groups of
+// Fig. 12; their leftover requests are scheduled when their completion
+// signal eventually arrives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/merb.hpp"
+#include "mc/controller.hpp"
+#include "mc/policy.hpp"
+
+namespace latdiv {
+
+struct WgConfig {
+  bool multi_channel = false;  ///< WG-M coordination
+  bool merb = false;           ///< WG-Bw bandwidth optimisation
+  bool write_aware = false;    ///< WG-W drain awareness
+  /// Extension (paper Conclusions): prioritise warp-groups that touch
+  /// DRAM rows other pending warp-groups also need — serving them opens
+  /// rows that benefit multiple warps.  Off in all paper configurations.
+  bool shared_data_boost = false;
+  std::uint32_t shared_weight = 1;  ///< score discount per shared request
+
+  std::uint32_t score_hit = 1;   ///< ~tCAS (12 ns)
+  std::uint32_t score_miss = 3;  ///< ~tRP+tRCD+tCAS (36 ns)
+  std::uint32_t orphan_limit = 2;
+  std::uint32_t wq_guard = 8;  ///< WG-W arms at (high watermark - guard)
+  /// Liveness fallback: drain an incomplete group once the oldest request
+  /// is this old, or when the read queue is nearly full.
+  Cycle fallback_age = 8192;
+  /// WG-M: how long a remote-selection message stays matchable against
+  /// not-yet-arrived warp-groups.
+  Cycle coord_msg_ttl = 256;
+  std::size_t rq_pressure_slack = 4;
+  std::uint32_t max_pushes_per_cycle = 8;
+};
+
+/// Per-warp-group bookkeeping (the warp sorter / bank table entry).
+struct WgGroupMeta {
+  WarpTag tag;
+  Cycle first_arrival = kNoCycle;
+  std::uint32_t seen = 0;    ///< requests received at this controller
+  std::uint32_t pushed = 0;  ///< requests already sent to bank queues
+  std::uint32_t coord_bonus = 0;  ///< accumulated WG-M score reduction
+  bool complete = false;
+};
+
+struct WgStats {
+  std::uint64_t groups_completed = 0;
+  std::uint64_t groups_selected = 0;
+  std::uint64_t fallback_selections = 0;
+  std::uint64_t merb_deferrals = 0;   ///< row-miss postponed for fillers
+  std::uint64_t orphan_topups = 0;    ///< orphan-control filler pushes
+  std::uint64_t coord_msgs_applied = 0;
+  std::uint64_t writeaware_selections = 0;
+  std::uint64_t shared_boosts = 0;  ///< selections aided by shared rows
+  Accumulator group_size;             ///< requests per warp-group at this MC
+};
+
+class WgPolicy final : public TransactionScheduler {
+ public:
+  WgPolicy(const WgConfig& cfg, const DramTiming& timing)
+      : cfg_(cfg), merb_(timing) {}
+
+  [[nodiscard]] const char* name() const override {
+    if (cfg_.shared_data_boost) return "WG-Sh";
+    if (cfg_.write_aware) return "WG-W";
+    if (cfg_.merb) return "WG-Bw";
+    if (cfg_.multi_channel) return "WG-M";
+    return "WG";
+  }
+
+  void schedule_reads(MemoryController& mc, Cycle now) override;
+  void on_push(MemoryController& mc, const MemRequest& req,
+               Cycle now) override;
+  void on_group_complete(MemoryController& mc, const WarpTag& tag,
+                         Cycle now) override;
+  void on_remote_selection(MemoryController& mc, const CoordMsg& msg,
+                           Cycle now) override;
+  void on_drain_start(MemoryController& mc, Cycle now) override;
+
+  [[nodiscard]] const WgStats& wg_stats() const { return stats_; }
+  [[nodiscard]] const WgConfig& config() const { return cfg_; }
+
+ private:
+  struct Score {
+    std::uint32_t completion = 0;  ///< estimated completion-time score
+    std::uint32_t row_hits = 0;    ///< tie-breaker
+  };
+
+  /// Completion-time estimate for the requests of `instr` currently in
+  /// the read queue (paper §IV-B1), including each touched bank's queued
+  /// backlog.  Request hit/miss status is evaluated against the bank's
+  /// *planned* row sequence: predicted row, advanced per queued request.
+  [[nodiscard]] Score score_group(const MemoryController& mc,
+                                  WarpInstrUid instr) const;
+  /// Sum of request scores pending in `bank`'s command queue.
+  [[nodiscard]] std::uint32_t bank_queue_score(const MemoryController& mc,
+                                               BankId bank) const;
+
+  void select_next_group(MemoryController& mc, Cycle now);
+  /// Drain the current group's read-queue requests into bank queues,
+  /// applying MERB admission for row misses when WG-Bw is on.  Returns
+  /// the number of requests pushed.
+  std::uint32_t drain_current(MemoryController& mc, Cycle now);
+  /// Push one row-hit filler to `bank` from the group nearest completion.
+  bool push_filler(MemoryController& mc, BankId bank, Cycle now);
+  void forget_if_done(WarpInstrUid instr);
+
+  [[nodiscard]] bool write_pressure(const MemoryController& mc) const;
+
+  WgConfig cfg_;
+  MerbTable merb_;
+  std::unordered_map<WarpInstrUid, WgGroupMeta> groups_;
+  std::optional<WarpInstrUid> current_;
+  /// WG-M: recent remote selections kept briefly so a coordination
+  /// message can still boost a warp-group whose requests arrive here a
+  /// few cycles *after* the remote controller selected it (the crossbar
+  /// and the coordination network race; hardware would hold the message
+  /// in the 128-entry tracking structure either way).
+  struct RecentMsg {
+    WarpInstrUid instr;
+    std::uint32_t score;
+    Cycle at;
+  };
+  std::deque<RecentMsg> recent_msgs_;
+  WgStats stats_;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,163 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+Channel::Channel(const DramTiming& timing)
+    : timing_(timing), banks_(timing.banks) {
+  next_refresh_at_ = timing_.trefi;
+}
+
+RowId Channel::open_row(BankId bank) const {
+  LATDIV_ASSERT(bank < banks_.size(), "bank index out of range");
+  return banks_[bank].row;
+}
+
+bool Channel::all_banks_closed() const {
+  return std::all_of(banks_.begin(), banks_.end(),
+                     [](const BankState& b) { return b.row == kNoRow; });
+}
+
+bool Channel::refresh_due(Cycle now) const {
+  return timing_.refresh_enabled && now >= next_refresh_at_;
+}
+
+bool Channel::act_legal(BankId bank, Cycle now) const {
+  const BankState& b = banks_[bank];
+  if (b.row != kNoRow) return false;          // must be precharged
+  if (now < b.earliest_act) return false;     // tRP / tRC / tRFC
+  if (last_act_ != kNoCycle && now < last_act_ + timing_.trrd) return false;
+  const Cycle fourth_newest = act_window_[act_window_pos_];
+  if (fourth_newest != kNoCycle && now < fourth_newest + timing_.tfaw) {
+    return false;
+  }
+  return true;
+}
+
+bool Channel::cas_legal(const DramCommand& cmd, Cycle now) const {
+  const BankState& b = banks_[cmd.bank];
+  if (b.row == kNoRow || b.row != cmd.row) return false;  // row must be open
+  if (now < b.earliest_cas) return false;                 // tRCD
+  const auto group = static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
+  if (cmd.cmd == DramCmd::kRead) {
+    if (last_rd_cmd_ != kNoCycle) {
+      const Cycle ccd = (group == last_rd_group_) ? timing_.tccdl : timing_.tccds;
+      if (now < last_rd_cmd_ + ccd) return false;
+    }
+    if (last_wr_cmd_ != kNoCycle &&
+        now < last_wr_cmd_ + timing_.write_to_read()) {
+      return false;
+    }
+  } else {
+    if (last_wr_cmd_ != kNoCycle) {
+      const Cycle ccd = (group == last_wr_group_) ? timing_.tccdl : timing_.tccds;
+      if (now < last_wr_cmd_ + ccd) return false;
+    }
+    if (last_rd_cmd_ != kNoCycle &&
+        now < last_rd_cmd_ + timing_.read_to_write()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Channel::can_issue(const DramCommand& cmd, Cycle now) const {
+  LATDIV_ASSERT(cmd.bank < banks_.size() || cmd.cmd == DramCmd::kRefresh,
+                "bank index out of range");
+  switch (cmd.cmd) {
+    case DramCmd::kActivate:
+      return act_legal(cmd.bank, now);
+    case DramCmd::kPrecharge: {
+      const BankState& b = banks_[cmd.bank];
+      return b.row != kNoRow && now >= b.earliest_pre;
+    }
+    case DramCmd::kRead:
+    case DramCmd::kWrite:
+      return cas_legal(cmd, now);
+    case DramCmd::kRefresh:
+      if (!all_banks_closed()) return false;
+      // Every bank's precharge must have completed (earliest_act embeds
+      // tRP after a PRE).
+      return std::all_of(banks_.begin(), banks_.end(), [now](const BankState& b) {
+        return now >= b.earliest_act;
+      });
+  }
+  LATDIV_UNREACHABLE("bad DramCmd");
+}
+
+Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
+  LATDIV_ASSERT(can_issue(cmd, now), "illegal DRAM command issued");
+  LATDIV_ASSERT(last_cmd_cycle_ == kNoCycle || now > last_cmd_cycle_,
+                "two commands in one cycle on a single command bus");
+  last_cmd_cycle_ = now;
+
+  switch (cmd.cmd) {
+    case DramCmd::kActivate: {
+      BankState& b = banks_[cmd.bank];
+      LATDIV_ASSERT(cmd.row != kNoRow, "ACT needs a row");
+      b.row = cmd.row;
+      b.earliest_cas = now + timing_.trcd;
+      b.earliest_pre = now + timing_.tras;
+      b.earliest_act = now + timing_.trc;
+      last_act_ = now;
+      act_window_[act_window_pos_] = now;
+      act_window_pos_ = (act_window_pos_ + 1) % act_window_.size();
+      ++stats_.activates;
+      return kNoCycle;
+    }
+    case DramCmd::kPrecharge: {
+      BankState& b = banks_[cmd.bank];
+      b.row = kNoRow;
+      b.earliest_act = std::max(b.earliest_act, now + timing_.trp);
+      ++stats_.precharges;
+      return kNoCycle;
+    }
+    case DramCmd::kRead: {
+      BankState& b = banks_[cmd.bank];
+      b.earliest_pre = std::max(b.earliest_pre, now + timing_.trtp);
+      last_rd_cmd_ = now;
+      last_rd_group_ =
+          static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
+      const Cycle data_start = now + timing_.tcas;
+      LATDIV_ASSERT(data_start >= data_bus_free_at_,
+                    "read data bus collision (CCD/turnaround bug)");
+      data_bus_free_at_ = data_start + timing_.tburst;
+      stats_.data_bus_busy_cycles += timing_.tburst;
+      ++stats_.reads;
+      return data_start + timing_.tburst;
+    }
+    case DramCmd::kWrite: {
+      BankState& b = banks_[cmd.bank];
+      const Cycle data_start = now + timing_.twl;
+      const Cycle data_end = data_start + timing_.tburst;
+      b.earliest_pre = std::max(b.earliest_pre, data_end + timing_.twr);
+      last_wr_cmd_ = now;
+      last_wr_group_ =
+          static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
+      LATDIV_ASSERT(data_start >= data_bus_free_at_,
+                    "write data bus collision (CCD/turnaround bug)");
+      data_bus_free_at_ = data_end;
+      stats_.data_bus_busy_cycles += timing_.tburst;
+      ++stats_.writes;
+      return data_end;
+    }
+    case DramCmd::kRefresh: {
+      for (BankState& b : banks_) {
+        b.earliest_act = std::max(b.earliest_act, now + timing_.trfc);
+      }
+      next_refresh_at_ += timing_.trefi;
+      ++stats_.refreshes;
+      return kNoCycle;
+    }
+  }
+  LATDIV_UNREACHABLE("bad DramCmd");
+}
+
+void Channel::on_cycle_end(Cycle) {
+  if (all_banks_closed()) ++stats_.all_banks_idle_cycles;
+}
+
+}  // namespace latdiv

@@ -1,0 +1,84 @@
+// GDDR5 device timing and geometry parameters (paper Table II; Hynix
+// H5GQ1H24AFR-class part).
+//
+// Parameters are specified in nanoseconds or command-clock cycles exactly
+// as the datasheet/paper gives them, then converted once into integer
+// command-clock cycles (tCK = 0.667 ns) by `DramTiming::from()`.  All
+// runtime timing math is integer cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace latdiv {
+
+/// Raw parameters in datasheet units.
+struct DramParams {
+  double tck_ns = 0.667;  ///< command/address clock period (1.5 GHz)
+
+  // Core array timings (ns).
+  double trc_ns = 40.0;    ///< ACT to ACT, same bank
+  double trcd_ns = 12.0;   ///< ACT to RD/WR
+  double trp_ns = 12.0;    ///< PRE to ACT
+  double tcas_ns = 12.0;   ///< RD to first data (CL)
+  double tras_ns = 28.0;   ///< ACT to PRE
+  double trrd_ns = 5.5;    ///< ACT to ACT, different banks
+  double twtr_ns = 5.0;    ///< end of write data to RD
+  double tfaw_ns = 23.0;   ///< four-activate window
+  double trtp_ns = 2.0;    ///< RD to PRE
+  double twr_ns = 12.0;    ///< end of write data to PRE (datasheet value;
+                           ///< not listed in the paper's table but required
+                           ///< for a legal WR->PRE sequence)
+
+  // Interface timings (command-clock cycles).
+  std::uint32_t twl_ck = 4;    ///< WR to first data (write latency)
+  std::uint32_t tburst_ck = 2; ///< data burst occupancy per 128B access
+  std::uint32_t trtrs_ck = 1;  ///< rank-to-rank / bus turnaround gap
+  std::uint32_t tccdl_ck = 3;  ///< CAS to CAS, same bank group
+  std::uint32_t tccds_ck = 2;  ///< CAS to CAS, different bank groups
+
+  // Geometry.
+  std::uint32_t banks = 16;
+  std::uint32_t banks_per_group = 4;
+
+  /// Refresh: GDDR5 tREFI ~ 1.9 us, tRFC ~ 65 ns for a 1Gb part.  Refresh
+  /// is modelled (it steals bank time) but can be disabled for unit tests
+  /// that need exact cycle arithmetic.
+  double trefi_ns = 1900.0;
+  double trfc_ns = 65.0;
+  bool refresh_enabled = true;
+};
+
+/// The paper's GDDR5 part (Table II defaults).
+[[nodiscard]] DramParams gddr5_params();
+
+/// A DDR3-1600 part for the §II-B contrast study: half the banks, no
+/// bank-group fast path (tCCD is uniformly long), longer bursts, a much
+/// tighter activate budget (higher tFAW relative to row service time) —
+/// the properties the paper cites to motivate GDDR5's suitability for
+/// frequent row activations.
+[[nodiscard]] DramParams ddr3_1600_params();
+
+/// All timings converted to integer command-clock cycles (ceil).
+struct DramTiming {
+  Cycle trc, trcd, trp, tcas, tras, trrd, twtr, tfaw, trtp, twr;
+  Cycle twl, tburst, trtrs, tccdl, tccds;
+  Cycle trefi, trfc;
+  std::uint32_t banks, banks_per_group;
+  bool refresh_enabled;
+
+  static DramTiming from(const DramParams& p) noexcept;
+
+  /// Read-to-write command gap on a shared bus:
+  /// data bus must be clear: CL + BL + turnaround - WL.
+  [[nodiscard]] Cycle read_to_write() const noexcept {
+    return tcas + tburst + trtrs - twl;
+  }
+  /// Write-to-read gap (same rank): WL + BL + tWTR.
+  [[nodiscard]] Cycle write_to_read() const noexcept {
+    return twl + tburst + twtr;
+  }
+};
+
+}  // namespace latdiv

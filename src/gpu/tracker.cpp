@@ -1,0 +1,84 @@
+#include "gpu/tracker.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+void InstrTracker::on_issue(WarpInstrUid uid, Cycle now) {
+  auto [it, inserted] = records_.try_emplace(uid);
+  LATDIV_ASSERT(inserted, "duplicate load issue for one uid");
+  it->second.issued = now;
+}
+
+void InstrTracker::on_dram_request(WarpInstrUid uid, const DramLoc& loc) {
+  auto it = records_.find(uid);
+  if (it == records_.end()) return;  // stores and untracked traffic
+  it->second.locs.push_back(loc);
+}
+
+void InstrTracker::on_dram_complete(WarpInstrUid uid, Cycle done) {
+  auto it = records_.find(uid);
+  if (it == records_.end()) return;
+  Record& r = it->second;
+  if (r.first_done == kNoCycle) r.first_done = done;
+  r.last_done = std::max(r.last_done == kNoCycle ? 0 : r.last_done, done);
+}
+
+void InstrTracker::finalize(WarpInstrUid uid, Cycle now) {
+  auto it = records_.find(uid);
+  if (it == records_.end()) return;
+  Record& r = it->second;
+  ++summary_.loads_finalized;
+
+  if (!r.locs.empty() && r.first_done != kNoCycle) {
+    ++summary_.loads_touching_dram;
+    summary_.dram_reqs_per_load.add(static_cast<double>(r.locs.size()));
+
+    // Distinct channels and (channel, bank) pairs.
+    std::uint64_t chan_mask = 0;
+    std::vector<std::uint32_t> bank_keys;
+    bank_keys.reserve(r.locs.size());
+    std::uint32_t same_row = 0;
+    for (std::size_t i = 0; i < r.locs.size(); ++i) {
+      const DramLoc& loc = r.locs[i];
+      chan_mask |= 1ULL << loc.channel;
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(loc.channel) << 8) | loc.bank;
+      if (std::find(bank_keys.begin(), bank_keys.end(), key) ==
+          bank_keys.end()) {
+        bank_keys.push_back(key);
+      }
+      // A request "shares a row" if any other request of the warp targets
+      // the same (channel, bank, row).
+      for (std::size_t j = 0; j < r.locs.size(); ++j) {
+        if (j == i) continue;
+        if (r.locs[j].channel == loc.channel && r.locs[j].bank == loc.bank &&
+            r.locs[j].row == loc.row) {
+          ++same_row;
+          break;
+        }
+      }
+    }
+    summary_.channels_per_load.add(
+        static_cast<double>(std::popcount(chan_mask)));
+    summary_.banks_per_load.add(static_cast<double>(bank_keys.size()));
+    summary_.same_row_frac.add(static_cast<double>(same_row) /
+                               static_cast<double>(r.locs.size()));
+
+    const auto first_lat = static_cast<double>(r.first_done - r.issued);
+    const auto last_lat = static_cast<double>(r.last_done - r.issued);
+    summary_.first_req_latency.add(first_lat);
+    summary_.last_req_latency.add(last_lat);
+    if (first_lat > 0.0) {
+      summary_.last_to_first_ratio.add(last_lat / first_lat);
+    }
+    summary_.divergence_gap.add(static_cast<double>(r.last_done - r.first_done));
+  }
+  (void)now;
+  records_.erase(it);
+}
+
+}  // namespace latdiv

@@ -1,0 +1,256 @@
+#include "mc/controller.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+// ---- TransactionScheduler defaults -----------------------------------
+
+void TransactionScheduler::schedule_writes(MemoryController& mc, Cycle now) {
+  auto& wq = mc.write_queue();
+  if (wq.empty()) return;
+  // FR-FCFS over the write queue: oldest row-hit, else oldest schedulable.
+  auto best = wq.end();
+  for (auto it = wq.begin(); it != wq.end(); ++it) {
+    if (!mc.bank_queue_has_space(it->loc.bank)) continue;
+    if (mc.predicted_row(it->loc.bank) == it->loc.row) {
+      best = it;
+      break;
+    }
+    if (best == wq.end()) best = it;
+  }
+  if (best != wq.end()) {
+    MemRequest req = *best;
+    wq.erase(best);
+    mc.send_to_bank(req, now);
+  }
+}
+
+void TransactionScheduler::on_push(MemoryController&, const MemRequest&,
+                                   Cycle) {}
+void TransactionScheduler::on_group_complete(MemoryController&,
+                                             const WarpTag&, Cycle) {}
+void TransactionScheduler::on_remote_selection(MemoryController&,
+                                               const CoordMsg&, Cycle) {}
+void TransactionScheduler::on_drain_start(MemoryController&, Cycle) {}
+
+// ---- MemoryController -------------------------------------------------
+
+MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
+                                   const DramTiming& timing,
+                                   std::unique_ptr<TransactionScheduler> policy,
+                                   ResponseFn on_read_done)
+    : id_(id),
+      cfg_(cfg),
+      channel_(timing),
+      policy_(std::move(policy)),
+      on_read_done_(std::move(on_read_done)),
+      read_q_(cfg.read_queue_size),
+      write_q_(cfg.write_queue_size),
+      bank_q_(timing.banks),
+      bank_meta_(timing.banks),
+      rr_bank_in_group_(timing.banks / timing.banks_per_group, 0) {
+  LATDIV_ASSERT(policy_ != nullptr, "controller needs a policy");
+  LATDIV_ASSERT(cfg.wq_low_watermark < cfg.wq_high_watermark &&
+                    cfg.wq_high_watermark <= cfg.write_queue_size,
+                "bad write watermarks");
+}
+
+void MemoryController::push(MemRequest req, Cycle now) {
+  req.arrived_at_mc = now;
+  if (req.kind == ReqKind::kRead) {
+    LATDIV_ASSERT(!read_q_.full(), "read queue overflow");
+    read_q_.push(req);
+  } else {
+    LATDIV_ASSERT(!write_q_.full(), "write queue overflow");
+    write_q_.push(req);
+  }
+  policy_->on_push(*this, req, now);
+}
+
+void MemoryController::notify_group_complete(const WarpTag& tag, Cycle now) {
+  policy_->on_group_complete(*this, tag, now);
+}
+
+void MemoryController::deliver_coordination(const CoordMsg& msg, Cycle now) {
+  policy_->on_remote_selection(*this, msg, now);
+}
+
+bool MemoryController::bank_queue_has_space(BankId bank, std::size_t n) const {
+  LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
+  return bank_q_[bank].size() + n <= cfg_.bank_queue_depth;
+}
+
+std::size_t MemoryController::bank_queue_size(BankId bank) const {
+  LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
+  return bank_q_[bank].size();
+}
+
+const std::deque<MemRequest>& MemoryController::bank_queue(BankId bank) const {
+  LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
+  return bank_q_[bank];
+}
+
+RowId MemoryController::predicted_row(BankId bank) const {
+  LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
+  const BankQueueMeta& meta = bank_meta_[bank];
+  return meta.tail_row != kNoRow ? meta.tail_row : channel_.open_row(bank);
+}
+
+std::uint32_t MemoryController::tail_streak(BankId bank) const {
+  LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
+  return bank_meta_[bank].tail_streak;
+}
+
+void MemoryController::send_to_bank(MemRequest req, Cycle now) {
+  const BankId bank = req.loc.bank;
+  LATDIV_ASSERT(bank_queue_has_space(bank), "bank command queue overflow");
+  LATDIV_ASSERT(req.arrived_at_mc != kNoCycle && req.arrived_at_mc <= now,
+                "request never entered a request queue");
+  BankQueueMeta& meta = bank_meta_[bank];
+  if (req.loc.row == meta.tail_row) {
+    ++meta.tail_streak;
+  } else {
+    meta.tail_row = req.loc.row;
+    meta.tail_streak = 1;
+  }
+  bank_q_[bank].push_back(req);
+  ++cmdq_total_;
+}
+
+std::uint32_t MemoryController::banks_with_work() const {
+  std::uint32_t n = 0;
+  for (const auto& q : bank_q_) {
+    if (!q.empty()) ++n;
+  }
+  return n;
+}
+
+void MemoryController::announce_selection(const WarpTag& tag,
+                                          std::uint32_t score) {
+  outbox_.push_back(CoordMsg{id_, tag, score});
+}
+
+void MemoryController::record_drain_stall(std::size_t groups,
+                                          std::size_t small_groups) {
+  stats_.drain_stalled_groups += groups;
+  stats_.drain_stalled_small_groups += small_groups;
+}
+
+void MemoryController::update_drain_mode(Cycle now) {
+  if (policy_->wants_interleaved_writes()) return;  // SBWAS-style
+  if (!write_mode_) {
+    if (write_q_.size() >= cfg_.wq_high_watermark) {
+      write_mode_ = true;
+      opportunistic_mode_ = false;
+      ++stats_.drains_started;
+      policy_->on_drain_start(*this, now);
+    } else if (cfg_.opportunistic_drain && read_q_.empty() &&
+               !write_q_.empty() && all_bank_queues_empty()) {
+      write_mode_ = true;
+      opportunistic_mode_ = true;
+    }
+  } else {
+    if (write_q_.size() <= cfg_.wq_low_watermark) {
+      write_mode_ = false;
+    } else if (opportunistic_mode_ && !read_q_.empty() &&
+               write_q_.size() < cfg_.wq_high_watermark) {
+      // A read arrived during an opportunistic drain: yield to it.
+      write_mode_ = false;
+    }
+  }
+}
+
+void MemoryController::complete_reads(Cycle now) {
+  while (!inflight_reads_.empty() && inflight_reads_.top().done <= now) {
+    Inflight done = inflight_reads_.top();
+    inflight_reads_.pop();
+    done.req.completed = done.done;
+    stats_.read_service_cycles.add(
+        static_cast<double>(done.done - done.req.arrived_at_mc));
+    ++stats_.reads_served;
+    if (on_read_done_) on_read_done_(done.req, now);
+  }
+}
+
+void MemoryController::issue_one_command(Cycle now) {
+  // Refresh has absolute priority once due: close banks, then REF.
+  if (channel_.refresh_due(now)) {
+    if (channel_.all_banks_closed()) {
+      const DramCommand ref{DramCmd::kRefresh, 0, kNoRow};
+      if (channel_.can_issue(ref, now)) channel_.issue(ref, now);
+      return;
+    }
+    const auto banks = static_cast<BankId>(channel_.timing().banks);
+    for (BankId b = 0; b < banks; ++b) {
+      const DramCommand pre{DramCmd::kPrecharge, b, kNoRow};
+      if (channel_.open_row(b) != kNoRow && channel_.can_issue(pre, now)) {
+        channel_.issue(pre, now);
+        return;
+      }
+    }
+    return;  // waiting on tRAS/tRTP/tWR before banks can close
+  }
+
+  const DramTiming& t = channel_.timing();
+  const std::uint32_t groups = t.banks / t.banks_per_group;
+  for (std::uint32_t g_off = 0; g_off < groups; ++g_off) {
+    const std::uint32_t g = (rr_group_ + g_off) % groups;
+    for (std::uint32_t b_off = 0; b_off < t.banks_per_group; ++b_off) {
+      const std::uint32_t in_group =
+          (rr_bank_in_group_[g] + b_off) % t.banks_per_group;
+      const auto bank = static_cast<BankId>(g * t.banks_per_group + in_group);
+      if (bank_q_[bank].empty()) continue;
+      const MemRequest& head = bank_q_[bank].front();
+
+      DramCommand cmd;
+      const RowId open = channel_.open_row(bank);
+      if (open == head.loc.row) {
+        cmd = {head.kind == ReqKind::kRead ? DramCmd::kRead : DramCmd::kWrite,
+               bank, head.loc.row};
+      } else if (open != kNoRow) {
+        cmd = {DramCmd::kPrecharge, bank, kNoRow};
+      } else {
+        cmd = {DramCmd::kActivate, bank, head.loc.row};
+      }
+      if (!channel_.can_issue(cmd, now)) continue;
+
+      const Cycle done = channel_.issue(cmd, now);
+      if (cmd.cmd == DramCmd::kRead || cmd.cmd == DramCmd::kWrite) {
+        MemRequest req = bank_q_[bank].front();
+        bank_q_[bank].pop_front();
+        --cmdq_total_;
+        if (cmd.cmd == DramCmd::kRead) {
+          stats_.read_queueing_cycles.add(
+              static_cast<double>(now - req.arrived_at_mc));
+          inflight_reads_.push(Inflight{done, req});
+        } else {
+          ++stats_.writes_served;
+        }
+        // Advance the round-robin pointers past the bank that got data
+        // service, so other bank groups / banks get the next slot.
+        rr_bank_in_group_[g] = (in_group + 1) % t.banks_per_group;
+        rr_group_ = (g + 1) % groups;
+      }
+      return;  // one command per cycle on the command bus
+    }
+  }
+}
+
+void MemoryController::tick(Cycle now) {
+  complete_reads(now);
+  update_drain_mode(now);
+  if (policy_->wants_interleaved_writes()) {
+    policy_->schedule_reads(*this, now);  // policy manages both queues
+  } else if (write_mode_) {
+    policy_->schedule_writes(*this, now);
+  } else {
+    policy_->schedule_reads(*this, now);
+  }
+  issue_one_command(now);
+  channel_.on_cycle_end(now);
+}
+
+}  // namespace latdiv

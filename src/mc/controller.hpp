@@ -1,0 +1,167 @@
+// The GPU memory controller (paper Fig. 1): one per channel.
+//
+//   Read Queue (64) ─┐
+//                    ├─ TransactionScheduler ─ per-bank Command Queues (8)
+//   Write Queue (64)─┘         (policy)               │
+//                                              Command Scheduler
+//                                       (multi-level RR over bank groups,
+//                                        in-order within a bank)
+//                                                     │
+//                                               GDDR5 Channel
+//
+// Writes are buffered and drained in batches between watermarks (32/16) to
+// amortise bus turnaround (tWTR); an opportunistic drain runs when the read
+// side is idle.  The command scheduler issues at most one DRAM command per
+// cycle, interleaving across bank groups first (GDDR5's tCCDS < tCCDL
+// rewards this) and servicing each bank's command queue strictly in order
+// so that the transaction scheduler's decisions are preserved.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/channel.hpp"
+#include "dram/params.hpp"
+#include "mc/policy.hpp"
+#include "mem/request.hpp"
+
+namespace latdiv {
+
+struct McConfig {
+  std::uint32_t read_queue_size = 64;
+  std::uint32_t write_queue_size = 64;
+  std::uint32_t wq_high_watermark = 32;
+  std::uint32_t wq_low_watermark = 16;
+  std::uint32_t bank_queue_depth = 8;
+  bool opportunistic_drain = true;
+};
+
+/// Controller-level counters (DRAM-level counters live in ChannelStats).
+struct McStats {
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_served = 0;
+  std::uint64_t drains_started = 0;
+  Accumulator read_queueing_cycles;   ///< arrival -> CAS issue
+  Accumulator read_service_cycles;    ///< arrival -> data complete
+  // Fig. 12 inputs: at each drain start, how many fully-formed warp-groups
+  // were stalled, and how many of those were unit-sized or orphaned
+  // (1-2 requests remaining).
+  std::uint64_t drain_stalled_groups = 0;
+  std::uint64_t drain_stalled_small_groups = 0;
+};
+
+class MemoryController {
+ public:
+  /// `on_read_done(req, now)` fires the cycle read data is fully returned.
+  using ResponseFn = std::function<void(const MemRequest&, Cycle)>;
+
+  MemoryController(ChannelId id, const McConfig& cfg, const DramTiming& timing,
+                   std::unique_ptr<TransactionScheduler> policy,
+                   ResponseFn on_read_done);
+
+  // --- ingress (called by the partition) ---
+  [[nodiscard]] bool can_accept_read() const { return !read_q_.full(); }
+  [[nodiscard]] bool can_accept_write() const { return !write_q_.full(); }
+  void push(MemRequest req, Cycle now);
+  /// The partition saw the last request of `tag`'s warp-group for this
+  /// controller (it may have been filtered by an L2 hit).
+  void notify_group_complete(const WarpTag& tag, Cycle now);
+  /// Deliver a coordination-network message (WG-M).
+  void deliver_coordination(const CoordMsg& msg, Cycle now);
+
+  /// Advance one command-clock cycle.
+  void tick(Cycle now);
+
+  // --- policy-facing API ---
+  [[nodiscard]] BoundedQueue<MemRequest>& read_queue() { return read_q_; }
+  [[nodiscard]] const BoundedQueue<MemRequest>& read_queue() const {
+    return read_q_;
+  }
+  [[nodiscard]] BoundedQueue<MemRequest>& write_queue() { return write_q_; }
+  [[nodiscard]] const BoundedQueue<MemRequest>& write_queue() const {
+    return write_q_;
+  }
+  [[nodiscard]] bool bank_queue_has_space(BankId bank,
+                                          std::size_t n = 1) const;
+  [[nodiscard]] std::size_t bank_queue_size(BankId bank) const;
+  [[nodiscard]] const std::deque<MemRequest>& bank_queue(BankId bank) const;
+  /// Row a new transaction on `bank` would find "open": the row of the
+  /// last transaction enqueued to that bank, falling back to the row open
+  /// in the DRAM array (paper §IV-B1's hit/miss estimate).
+  [[nodiscard]] RowId predicted_row(BankId bank) const;
+  /// Consecutive same-row transactions at the tail of `bank`'s planned
+  /// sequence (the WG-Bw MERB counter, maintained at insertion time).
+  [[nodiscard]] std::uint32_t tail_streak(BankId bank) const;
+  /// Move a request (already removed from a request queue) into its bank's
+  /// command queue.  Caller must have checked bank_queue_has_space().
+  void send_to_bank(MemRequest req, Cycle now);
+  [[nodiscard]] const Channel& channel() const { return channel_; }
+  [[nodiscard]] bool in_write_drain() const { return write_mode_; }
+  [[nodiscard]] const McConfig& config() const { return cfg_; }
+  [[nodiscard]] ChannelId id() const { return id_; }
+  /// Broadcast queue drained by the owning coordination network each cycle.
+  [[nodiscard]] std::vector<CoordMsg>& outbox() { return outbox_; }
+  /// Policies call this when they select a warp-group (WG-M broadcast).
+  void announce_selection(const WarpTag& tag, std::uint32_t score);
+  /// Total requests sitting in all bank command queues.
+  [[nodiscard]] std::size_t commands_pending() const { return cmdq_total_; }
+  /// Number of banks with a non-empty command queue (MERB table index).
+  [[nodiscard]] std::uint32_t banks_with_work() const;
+
+  // Fig. 12 accounting: policies report the warp-groups stalled when a
+  // drain begins.
+  void record_drain_stall(std::size_t groups, std::size_t small_groups);
+
+  [[nodiscard]] const McStats& stats() const { return stats_; }
+  [[nodiscard]] TransactionScheduler& policy() { return *policy_; }
+
+ private:
+  struct BankQueueMeta {
+    RowId tail_row = kNoRow;
+    std::uint32_t tail_streak = 0;
+  };
+  struct Inflight {
+    Cycle done;
+    MemRequest req;
+    friend bool operator<(const Inflight& a, const Inflight& b) {
+      return a.done > b.done;  // min-heap on completion time
+    }
+  };
+
+  void update_drain_mode(Cycle now);
+  void issue_one_command(Cycle now);
+  void complete_reads(Cycle now);
+  [[nodiscard]] bool all_bank_queues_empty() const { return cmdq_total_ == 0; }
+
+  ChannelId id_;
+  McConfig cfg_;
+  Channel channel_;
+  std::unique_ptr<TransactionScheduler> policy_;
+  ResponseFn on_read_done_;
+
+  BoundedQueue<MemRequest> read_q_;
+  BoundedQueue<MemRequest> write_q_;
+  std::vector<std::deque<MemRequest>> bank_q_;
+  std::vector<BankQueueMeta> bank_meta_;
+  std::size_t cmdq_total_ = 0;
+
+  bool write_mode_ = false;
+  bool opportunistic_mode_ = false;
+
+  // Multi-level round-robin pointers for the command scheduler.
+  std::uint32_t rr_group_ = 0;
+  std::vector<std::uint32_t> rr_bank_in_group_;
+
+  std::priority_queue<Inflight> inflight_reads_;
+  std::vector<CoordMsg> outbox_;
+  McStats stats_;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,84 @@
+#include "mc/policy_sbwas.hpp"
+
+#include <algorithm>
+
+namespace latdiv {
+
+void SbwasPolicy::rebuild_remaining(MemoryController& mc) {
+  remaining_.clear();
+  for (const MemRequest& req : mc.read_queue()) {
+    ++remaining_[req.tag.instr];
+  }
+}
+
+bool SbwasPolicy::try_schedule_write(MemoryController& mc, Cycle now,
+                                     bool force) {
+  auto& wq = mc.write_queue();
+  if (wq.empty()) return false;
+  auto best = wq.end();
+  for (auto it = wq.begin(); it != wq.end(); ++it) {
+    if (!mc.bank_queue_has_space(it->loc.bank)) continue;
+    if (mc.predicted_row(it->loc.bank) == it->loc.row) {
+      best = it;
+      break;  // oldest row-hit write
+    }
+    if (force && best == wq.end()) best = it;
+  }
+  if (best == wq.end()) return false;
+  MemRequest req = *best;
+  wq.erase(best);
+  mc.send_to_bank(req, now);
+  return true;
+}
+
+void SbwasPolicy::schedule_reads(MemoryController& mc, Cycle now) {
+  // Interleaved-write model: under write pressure, a write goes first;
+  // otherwise writes only piggyback as row hits when no read candidate
+  // exists (handled at the end).
+  if (mc.write_queue().size() >= cfg_.write_pressure &&
+      try_schedule_write(mc, now, /*force=*/true)) {
+    return;
+  }
+
+  auto& rq = mc.read_queue();
+  if (rq.empty()) {
+    try_schedule_write(mc, now, /*force=*/true);
+    return;
+  }
+  rebuild_remaining(mc);
+
+  // Candidate (a): oldest schedulable row-hit.
+  // Candidate (b): schedulable request from the warp with the fewest
+  // requests remaining in this controller (oldest among ties).
+  auto hit = rq.end();
+  auto shortest = rq.end();
+  std::uint32_t shortest_remaining = 0;
+  for (auto it = rq.begin(); it != rq.end(); ++it) {
+    const BankId bank = it->loc.bank;
+    if (mc.bank_queue_size(bank) >= 2) continue;  // decide near issue time
+    if (hit == rq.end() && mc.predicted_row(bank) == it->loc.row) hit = it;
+    const std::uint32_t rem = remaining_.at(it->tag.instr);
+    if (shortest == rq.end() || rem < shortest_remaining) {
+      shortest = it;
+      shortest_remaining = rem;
+    }
+  }
+  if (shortest == rq.end()) {
+    // Nothing schedulable (all target banks full); let writes use the slot.
+    try_schedule_write(mc, now, /*force=*/false);
+    return;
+  }
+
+  auto pick = shortest;
+  if (hit != rq.end()) {
+    const double pot_hit = 1.0 - cfg_.alpha;
+    const double pot_short =
+        cfg_.alpha / static_cast<double>(shortest_remaining);
+    if (pot_hit >= pot_short) pick = hit;
+  }
+  MemRequest req = *pick;
+  rq.erase(pick);
+  mc.send_to_bank(req, now);
+}
+
+}  // namespace latdiv

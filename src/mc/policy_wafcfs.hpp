@@ -1,0 +1,30 @@
+// Warp-Aware FCFS (Yuan et al., MICRO 2008) — paper §VI-C2.
+//
+// Yuan et al.'s complexity-effective design relies on an interconnect that
+// does not interleave requests from different SMs, so that a simple FCFS
+// controller sees each warp's requests contiguously and can harvest their
+// spatial locality in order.  The controller-side policy is therefore plain
+// FCFS; the non-interleaving interconnect is enabled separately via
+// IcntConfig::sticky_arbitration when the sim preset selects WAFCFS.
+#pragma once
+
+#include "mc/controller.hpp"
+#include "mc/policy.hpp"
+
+namespace latdiv {
+
+class WafcfsPolicy final : public TransactionScheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "WAFCFS"; }
+
+  void schedule_reads(MemoryController& mc, Cycle now) override {
+    auto& rq = mc.read_queue();
+    if (rq.empty()) return;
+    const MemRequest& head = rq.front();
+    if (!mc.bank_queue_has_space(head.loc.bank)) return;
+    MemRequest req = rq.pop();
+    mc.send_to_bank(req, now);
+  }
+};
+
+}  // namespace latdiv

@@ -1,0 +1,50 @@
+// The memory request — the unit that flows from coalescer to DRAM and back.
+//
+// One SIMT vector load produces up to 32 of these after coalescing; the
+// subset landing in one memory controller is that controller's *warp-group*
+// for the instruction.  Requests carry timestamps at each pipeline point so
+// the sim layer can attribute latency and compute the paper's divergence
+// metrics (gap between first and last service within a warp instruction).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+
+namespace latdiv {
+
+enum class ReqKind : std::uint8_t { kRead, kWrite };
+
+struct MemRequest {
+  Addr addr = 0;          ///< cache-line-aligned byte address
+  ReqKind kind = ReqKind::kRead;
+  WarpTag tag;            ///< owning <SM, warp, dynamic-instruction>
+  DramLoc loc;            ///< decoded DRAM coordinates
+
+  /// Number of coalesced requests the owning instruction produced in
+  /// total (all channels).  Lets a controller know warp-group sizes and
+  /// lets stats normalise per-instruction.
+  std::uint16_t reqs_in_instr = 1;
+
+  /// True on the last request of this instruction's warp-group *for the
+  /// destination controller* (paper §IV-B2: the interconnect preserves
+  /// per-SM order, so tagging the last request tells the controller when
+  /// the warp-group is fully formed).
+  bool last_of_group_at_mc = false;
+
+  // --- timestamps (global command-clock cycles) ---
+  Cycle issued_by_sm = kNoCycle;   ///< left the coalescer
+  Cycle arrived_at_mc = kNoCycle;  ///< entered the read/write queue
+  Cycle completed = kNoCycle;      ///< data burst finished (reads) / retired
+};
+
+/// Response routed back through the interconnect to the issuing SM.
+struct MemResponse {
+  Addr addr = 0;
+  WarpTag tag;
+  Cycle completed = kNoCycle;
+  std::uint16_t reqs_in_instr = 1;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,81 @@
+// Top-level simulation configuration (paper Table II defaults).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/policy_wg.hpp"
+#include "dram/params.hpp"
+#include "gpu/partition.hpp"
+#include "gpu/sm.hpp"
+#include "icnt/crossbar.hpp"
+#include "mc/controller.hpp"
+#include "mc/policy_gmc.hpp"
+#include "mc/policy_sbwas.hpp"
+#include "mem/address_map.hpp"
+#include "workload/profile.hpp"
+
+namespace latdiv {
+
+/// Every scheduler evaluated in the paper, plus the idealised models.
+enum class SchedulerKind : std::uint8_t {
+  kFcfs,
+  kFrFcfs,
+  kGmc,     ///< baseline (§II-C)
+  kWafcfs,  ///< Yuan et al. (§VI-C2); also flips the interconnect mode
+  kSbwas,   ///< Lakshminarayana et al. (§VI-C1)
+  kWg,      ///< §IV-B
+  kWgM,     ///< §IV-C
+  kWgBw,    ///< §IV-D
+  kWgW,     ///< §IV-E
+  kWgShared,///< extension: Conclusions' shared-data-aware priority
+  kZld,     ///< Fig. 4 zero-latency-divergence ideal
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+
+struct SimConfig {
+  // GPU organisation (Table II).
+  std::uint32_t num_sms = 30;
+  SmConfig sm;
+  PartitionConfig partition;
+  IcntConfig icnt;
+  McConfig mc;
+  DramParams dram;
+  AddressMapConfig amap;
+
+  // Scheduler under test and its policy knobs.
+  SchedulerKind scheduler = SchedulerKind::kGmc;
+  GmcConfig gmc;
+  SbwasConfig sbwas;
+  WgConfig wg;  ///< flags are overridden to match `scheduler`
+  Cycle coordination_latency = 4;
+
+  /// Escape hatch for user-defined schedulers: when set, this factory is
+  /// used for every controller instead of `scheduler` (which is then only
+  /// used for the result label).  See examples/custom_policy.cpp.
+  std::function<std::unique_ptr<TransactionScheduler>(ChannelId,
+                                                      const DramTiming&)>
+      custom_policy;
+
+  // Workload.
+  WorkloadProfile workload;
+  std::uint64_t seed = 1;
+  /// When non-empty, replay this instruction trace instead of the
+  /// statistical generator (the trace's geometry must cover num_sms x
+  /// sm.warps).  See src/workload/trace.hpp.
+  std::string replay_trace_path;
+  /// When non-empty, record the instruction stream consumed by this run.
+  std::string record_trace_path;
+
+  // Run length (global DRAM command-clock cycles).
+  Cycle max_cycles = 300'000;
+  Cycle warmup_cycles = 30'000;
+
+  /// Scale all structure counts down for fast unit tests.
+  void shrink_for_tests();
+};
+
+}  // namespace latdiv

@@ -1,0 +1,56 @@
+// Aggregated results of one simulation run — the inputs to every bench
+// table and figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/power.hpp"
+#include "gpu/tracker.hpp"
+
+namespace latdiv {
+
+struct RunResult {
+  std::string workload;
+  std::string scheduler;
+
+  // Performance.
+  double ipc = 0.0;  ///< warp instructions per core cycle, post-warmup
+  std::uint64_t instructions = 0;
+  std::uint64_t core_cycles = 0;
+  std::uint64_t dram_cycles = 0;
+
+  // Coalescing (Fig. 2).
+  double loads = 0.0;
+  double divergent_load_frac = 0.0;
+  double requests_per_load = 0.0;
+
+  // Divergence & latency (Figs. 3, 9, 10).
+  TrackerSummary tracker;
+  double effective_mem_latency_ns = 0.0;  ///< issue -> last DRAM completion
+  double divergence_gap_ns = 0.0;         ///< first -> last DRAM completion
+
+  // DRAM-side (Figs. 11, 12; §VI-B).
+  double bandwidth_utilization = 0.0;  ///< data-bus busy fraction
+  double row_hit_rate = 0.0;           ///< 1 - activates / column accesses
+  double write_intensity = 0.0;        ///< writes / (reads + writes)
+  double drain_small_group_frac = 0.0; ///< Fig. 12 right axis
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_activates = 0;
+  PowerBreakdown power;  ///< per-channel average power
+
+  // Cache behaviour.
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+
+  // Policy-internal counters (WG family; zero otherwise).
+  std::uint64_t wg_groups_selected = 0;
+  std::uint64_t wg_fallback_selections = 0;
+  std::uint64_t wg_merb_deferrals = 0;
+  std::uint64_t wg_writeaware_selections = 0;
+  std::uint64_t wg_shared_boosts = 0;
+  std::uint64_t coord_messages = 0;
+};
+
+}  // namespace latdiv

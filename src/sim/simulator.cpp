@@ -1,0 +1,261 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "mc/policy_fcfs.hpp"
+#include "mc/policy_frfcfs.hpp"
+#include "mc/policy_wafcfs.hpp"
+
+namespace latdiv {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return "FCFS";
+    case SchedulerKind::kFrFcfs: return "FR-FCFS";
+    case SchedulerKind::kGmc: return "GMC";
+    case SchedulerKind::kWafcfs: return "WAFCFS";
+    case SchedulerKind::kSbwas: return "SBWAS";
+    case SchedulerKind::kWg: return "WG";
+    case SchedulerKind::kWgM: return "WG-M";
+    case SchedulerKind::kWgBw: return "WG-Bw";
+    case SchedulerKind::kWgW: return "WG-W";
+    case SchedulerKind::kWgShared: return "WG-Sh";
+    case SchedulerKind::kZld: return "ZLD-ideal";
+  }
+  return "?";
+}
+
+void SimConfig::shrink_for_tests() {
+  num_sms = 4;
+  sm.warps = 8;
+  icnt.sms = 4;
+  max_cycles = 20'000;
+  warmup_cycles = 2'000;
+  dram.refresh_enabled = false;
+}
+
+std::unique_ptr<TransactionScheduler> Simulator::make_policy(ChannelId id) {
+  if (cfg_.custom_policy) return cfg_.custom_policy(id, timing_);
+  switch (cfg_.scheduler) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsPolicy>();
+    case SchedulerKind::kFrFcfs:
+      return std::make_unique<FrFcfsPolicy>();
+    case SchedulerKind::kGmc:
+      return std::make_unique<GmcPolicy>(cfg_.gmc);
+    case SchedulerKind::kWafcfs:
+      return std::make_unique<WafcfsPolicy>();
+    case SchedulerKind::kSbwas:
+      return std::make_unique<SbwasPolicy>(cfg_.sbwas);
+    case SchedulerKind::kWg:
+    case SchedulerKind::kWgM:
+    case SchedulerKind::kWgBw:
+    case SchedulerKind::kWgW:
+    case SchedulerKind::kWgShared: {
+      WgConfig wg = cfg_.wg;
+      wg.multi_channel = cfg_.scheduler != SchedulerKind::kWg;
+      wg.merb = cfg_.scheduler == SchedulerKind::kWgBw ||
+                cfg_.scheduler == SchedulerKind::kWgW ||
+                cfg_.scheduler == SchedulerKind::kWgShared;
+      wg.write_aware = cfg_.scheduler == SchedulerKind::kWgW ||
+                       cfg_.scheduler == SchedulerKind::kWgShared;
+      wg.shared_data_boost = cfg_.scheduler == SchedulerKind::kWgShared;
+      return std::make_unique<WgPolicy>(wg, timing_);
+    }
+    case SchedulerKind::kZld:
+      return std::make_unique<ZldPolicy>(zld_);
+  }
+  LATDIV_UNREACHABLE("bad SchedulerKind");
+}
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg),
+      timing_(DramTiming::from(cfg.dram)),
+      amap_([&] {
+        AddressMapConfig a = cfg.amap;
+        a.channels = cfg.icnt.partitions;
+        a.banks_per_channel = cfg.dram.banks;
+        a.banks_per_group = cfg.dram.banks_per_group;
+        return a;
+      }()),
+      gen_(cfg.workload, cfg.num_sms, cfg.sm.warps, cfg.seed),
+      xbar_([&] {
+        IcntConfig i = cfg.icnt;
+        i.sms = cfg.num_sms;
+        i.sticky_arbitration = cfg.scheduler == SchedulerKind::kWafcfs;
+        return i;
+      }()) {
+  zld_ = std::make_shared<ZldCoordinator>();
+
+  // Instruction source: generator by default; trace replay/capture when
+  // configured (capture wraps whichever source is active).
+  source_ = &gen_;
+  if (!cfg_.replay_trace_path.empty()) {
+    replayer_ = std::make_unique<TraceReplayer>(cfg_.replay_trace_path);
+    LATDIV_ASSERT(replayer_->sms() >= cfg_.num_sms &&
+                      replayer_->warps_per_sm() >= cfg_.sm.warps,
+                  "trace geometry smaller than the simulated GPU");
+    source_ = replayer_.get();
+  }
+  if (!cfg_.record_trace_path.empty()) {
+    trace_writer_ = std::make_unique<TraceWriter>(
+        cfg_.record_trace_path, cfg_.num_sms, cfg_.sm.warps);
+    recorder_ = std::make_unique<RecordingSource>(*source_, *trace_writer_);
+    source_ = recorder_.get();
+  }
+
+  for (std::uint32_t p = 0; p < cfg_.icnt.partitions; ++p) {
+    partitions_.push_back(std::make_unique<Partition>(
+        static_cast<ChannelId>(p), cfg_.partition, cfg_.mc, timing_,
+        make_policy(static_cast<ChannelId>(p)), amap_, xbar_, tracker_));
+  }
+  for (std::uint32_t s = 0; s < cfg_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<Sm>(
+        static_cast<SmId>(s), cfg_.sm, *source_, amap_, xbar_, tracker_,
+        /*uid_base=*/s + 1, /*uid_stride=*/cfg_.num_sms));
+  }
+  // Coordination network (only WG-M and above broadcast, but wiring it
+  // unconditionally is harmless: outboxes stay empty for other policies).
+  std::vector<MemoryController*> mcs;
+  mcs.reserve(partitions_.size());
+  for (auto& part : partitions_) mcs.push_back(&part->mc());
+  coord_ = std::make_unique<CoordinationNetwork>(std::move(mcs),
+                                                 cfg_.coordination_latency);
+}
+
+void Simulator::step() {
+  const bool core_tick = now_ % cfg_.sm.core_clock_ratio == 0;
+  if (core_tick) {
+    for (auto& sm : sms_) sm->tick(now_);
+    xbar_.tick(now_);
+    for (auto& part : partitions_) part->tick_core(now_);
+  }
+  for (auto& part : partitions_) part->tick_dram(now_);
+  coord_->tick(now_);
+  ++now_;
+
+  if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
+    warmup_done_at_ = now_;
+    warmup_instructions_ = total_instructions();
+  }
+}
+
+std::uint64_t Simulator::total_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& sm : sms_) total += sm->stats().instructions;
+  return total;
+}
+
+RunResult Simulator::run() {
+  while (now_ < cfg_.max_cycles) step();
+  return collect();
+}
+
+RunResult Simulator::collect() const {
+  RunResult r;
+  r.workload = cfg_.workload.name;
+  r.scheduler = cfg_.custom_policy
+                    ? const_cast<Partition&>(*partitions_[0]).mc().policy().name()
+                    : to_string(cfg_.scheduler);
+  r.dram_cycles = now_;
+  r.core_cycles = now_ / cfg_.sm.core_clock_ratio;
+  r.instructions = total_instructions();
+
+  const std::uint64_t measured_instr = r.instructions - warmup_instructions_;
+  const Cycle measured_cycles = now_ - warmup_done_at_;
+  const double measured_core_cycles =
+      static_cast<double>(measured_cycles) / cfg_.sm.core_clock_ratio;
+  r.ipc = safe_ratio(static_cast<double>(measured_instr), measured_core_cycles);
+
+  // Coalescer + L1 aggregates.
+  CoalescerStats co;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  for (const auto& sm : sms_) {
+    const CoalescerStats& s = sm->coalescer().stats();
+    co.loads += s.loads;
+    co.divergent_loads += s.divergent_loads;
+    co.load_requests += s.load_requests;
+    co.stores += s.stores;
+    co.store_requests += s.store_requests;
+    l1_hits += sm->l1().stats().hits;
+    l1_misses += sm->l1().stats().misses;
+  }
+  r.loads = static_cast<double>(co.loads);
+  r.divergent_load_frac = co.divergent_frac();
+  r.requests_per_load = co.requests_per_load();
+  r.l1_hit_rate = safe_ratio(static_cast<double>(l1_hits),
+                             static_cast<double>(l1_hits + l1_misses));
+
+  r.tracker = tracker_.summary();
+  r.effective_mem_latency_ns =
+      r.tracker.last_req_latency.mean() * cfg_.dram.tck_ns;
+  r.divergence_gap_ns = r.tracker.divergence_gap.mean() * cfg_.dram.tck_ns;
+
+  // DRAM-side aggregates across channels.
+  std::uint64_t busy = 0, acts = 0, reads = 0, writes = 0, refs = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t drain_groups = 0, drain_small = 0;
+  ChannelStats merged{};
+  for (const auto& part : partitions_) {
+    const ChannelStats& cs = part->mc().channel().stats();
+    busy += cs.data_bus_busy_cycles;
+    acts += cs.activates;
+    reads += cs.reads;
+    writes += cs.writes;
+    refs += cs.refreshes;
+    idle += cs.all_banks_idle_cycles;
+    l2_hits += part->l2().stats().hits;
+    l2_misses += part->l2().stats().misses;
+    drain_groups += part->mc().stats().drain_stalled_groups;
+    drain_small += part->mc().stats().drain_stalled_small_groups;
+
+    if (auto* wg = dynamic_cast<const WgPolicy*>(
+            &const_cast<Partition&>(*part).mc().policy())) {
+      r.wg_groups_selected += wg->wg_stats().groups_selected;
+      r.wg_fallback_selections += wg->wg_stats().fallback_selections;
+      r.wg_merb_deferrals += wg->wg_stats().merb_deferrals;
+      r.wg_writeaware_selections += wg->wg_stats().writeaware_selections;
+      r.wg_shared_boosts += wg->wg_stats().shared_boosts;
+    }
+  }
+  merged.activates = acts;
+  merged.reads = reads;
+  merged.writes = writes;
+  merged.refreshes = refs;
+  merged.data_bus_busy_cycles = busy;
+  merged.all_banks_idle_cycles = idle;
+
+  const double chans = static_cast<double>(partitions_.size());
+  r.bandwidth_utilization =
+      safe_ratio(static_cast<double>(busy), static_cast<double>(now_) * chans);
+  r.row_hit_rate = 1.0 - safe_ratio(static_cast<double>(acts),
+                                    static_cast<double>(reads + writes));
+  r.write_intensity = safe_ratio(static_cast<double>(writes),
+                                 static_cast<double>(reads + writes));
+  r.drain_small_group_frac = safe_ratio(static_cast<double>(drain_small),
+                                        static_cast<double>(drain_groups));
+  r.dram_reads = reads;
+  r.dram_writes = writes;
+  r.dram_activates = acts;
+  r.l2_hit_rate = safe_ratio(static_cast<double>(l2_hits),
+                             static_cast<double>(l2_hits + l2_misses));
+  r.coord_messages = coord_->messages_sent();
+
+  // Average per-channel power (scale the merged counters down).
+  ChannelStats per_chan{};
+  per_chan.activates = acts / partitions_.size();
+  per_chan.reads = reads / partitions_.size();
+  per_chan.writes = writes / partitions_.size();
+  per_chan.refreshes = refs / partitions_.size();
+  per_chan.data_bus_busy_cycles = busy / partitions_.size();
+  per_chan.all_banks_idle_cycles = idle / partitions_.size();
+  const PowerModel power(Gddr5PowerParams{}, cfg_.dram);
+  if (now_ > 0) r.power = power.compute(per_chan, now_);
+
+  return r;
+}
+
+}  // namespace latdiv

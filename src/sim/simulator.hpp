@@ -1,0 +1,68 @@
+// Top-level simulator: wires SMs, crossbar, partitions (L2 + memory
+// controller), the coordination network and the workload generator, then
+// advances the two clock domains to completion.
+//
+// One global tick = one GDDR5 command-clock cycle (1.5 GHz).  The core
+// domain (SMs, crossbar, L2 pipelines) ticks every
+// SmConfig::core_clock_ratio-th global cycle.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/ideal.hpp"
+#include "gpu/partition.hpp"
+#include "gpu/sm.hpp"
+#include "gpu/tracker.hpp"
+#include "icnt/crossbar.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace latdiv {
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  /// Run to cfg.max_cycles and aggregate results.
+  RunResult run();
+
+  // Component access for tests and custom drivers.
+  [[nodiscard]] Partition& partition(std::size_t i) { return *partitions_[i]; }
+  [[nodiscard]] Sm& sm(std::size_t i) { return *sms_[i]; }
+  [[nodiscard]] InstrTracker& tracker() { return tracker_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+  /// Advance exactly one global cycle (exposed for incremental tests).
+  void step();
+  [[nodiscard]] Cycle now() const { return now_; }
+
+ private:
+  [[nodiscard]] std::unique_ptr<TransactionScheduler> make_policy(ChannelId id);
+  [[nodiscard]] std::uint64_t total_instructions() const;
+  RunResult collect() const;
+
+  SimConfig cfg_;
+  DramTiming timing_;
+  AddressMap amap_;
+  WorkloadGenerator gen_;
+  std::unique_ptr<TraceReplayer> replayer_;
+  std::unique_ptr<TraceWriter> trace_writer_;
+  std::unique_ptr<RecordingSource> recorder_;
+  InstrSource* source_ = nullptr;  ///< the source SMs actually consume
+  InstrTracker tracker_;
+  Crossbar xbar_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<std::unique_ptr<Sm>> sms_;
+  std::unique_ptr<CoordinationNetwork> coord_;
+  std::shared_ptr<ZldCoordinator> zld_;
+
+  Cycle now_ = 0;
+  std::uint64_t warmup_instructions_ = 0;
+  Cycle warmup_done_at_ = 0;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,27 @@
+// Dynamic warp instructions produced by the workload generators and
+// consumed by the SM model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace latdiv {
+
+inline constexpr std::uint32_t kWarpLanes = 32;
+
+struct WarpInstr {
+  enum class Kind : std::uint8_t { kCompute, kLoad, kStore };
+
+  Kind kind = Kind::kCompute;
+  /// Compute: cycles until the warp may issue again (issue + dependent
+  /// ALU latency collapsed into one number).
+  std::uint32_t latency = 1;
+  /// Memory: per-lane byte addresses; lanes [active_lanes, 32) are off
+  /// (predicated or exited threads).
+  std::array<Addr, kWarpLanes> lane_addr{};
+  std::uint8_t active_lanes = 0;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,23 @@
+// Abstract source of warp instructions.
+//
+// The SM model pulls instructions from an InstrSource; the two providers
+// are the statistical WorkloadGenerator (synthetic Table III workloads)
+// and the TraceReplayer (captured streams, for reproducing a run exactly
+// or feeding externally-generated traces into the memory system).
+#pragma once
+
+#include "common/types.hpp"
+#include "workload/instr.hpp"
+
+namespace latdiv {
+
+class InstrSource {
+ public:
+  virtual ~InstrSource() = default;
+
+  /// Next instruction for (sm, warp).  Must never exhaust: sources with
+  /// finite content wrap around or idle with compute instructions.
+  [[nodiscard]] virtual WarpInstr next(SmId sm, WarpId warp) = 0;
+};
+
+}  // namespace latdiv

@@ -1,0 +1,235 @@
+#include "workload/profile.hpp"
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+namespace {
+
+WorkloadProfile base_irregular(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  return p;
+}
+
+WorkloadProfile base_regular(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.divergent_load_frac = 0.04;
+  p.divergent_lines_mean = 2.0;
+  p.cluster_len_mean = 4.0;
+  p.streaming_frac = 0.9;
+  p.mem_instr_frac = 0.35;
+  p.store_frac = 0.15;
+  p.hot_frac = 0.05;
+  return p;
+}
+
+}  // namespace
+
+std::vector<WorkloadProfile> irregular_suite() {
+  std::vector<WorkloadProfile> suite;
+
+  // Rodinia: Breadth-First Search — frontier expansion; modest divergent
+  // line counts, short clusters keep a warp on < 2 channels (paper Fig 10
+  // discussion groups bfs with the few-controller apps).
+  {
+    WorkloadProfile p = base_irregular("bfs");
+    p.divergent_load_frac = 0.50;
+    p.divergent_lines_mean = 8.0;
+    p.cluster_len_mean = 3.4;
+    p.store_frac = 0.12;
+    p.streaming_frac = 0.30;
+    p.mem_instr_frac = 0.22;
+    p.footprint_bytes = 192ULL << 20;
+    p.hot_frac = 0.30;  // frontier reuse
+    p.hot_bytes = 256ULL << 10;
+    suite.push_back(p);
+  }
+  // Rodinia: CFD solver — indirect neighbour gathers over an unstructured
+  // mesh; wide spread (~3.2 controllers per warp).
+  {
+    WorkloadProfile p = base_irregular("cfd");
+    p.divergent_load_frac = 0.60;
+    p.divergent_lines_mean = 11.0;
+    p.cluster_len_mean = 2.2;
+    p.store_frac = 0.20;
+    p.hot_frac = 0.30;
+    p.hot_bytes = 256ULL << 10;
+    p.streaming_frac = 0.40;
+    p.mem_instr_frac = 0.20;
+    p.footprint_bytes = 384ULL << 20;
+    suite.push_back(p);
+  }
+  // Rodinia: Needleman-Wunsch — diagonal wavefront; clustered accesses on
+  // few channels, strongly write-intensive (Fig. 12).
+  {
+    WorkloadProfile p = base_irregular("nw");
+    p.divergent_load_frac = 0.45;
+    p.divergent_lines_mean = 6.0;
+    p.cluster_len_mean = 3.6;
+    p.store_frac = 0.40;
+    p.streaming_frac = 0.50;
+    p.mem_instr_frac = 0.25;
+    p.footprint_bytes = 128ULL << 20;
+    p.hot_frac = 0.35;
+    p.hot_bytes = 128ULL << 10;
+    suite.push_back(p);
+  }
+  // Rodinia: K-means — streaming points with scattered centroid updates.
+  {
+    WorkloadProfile p = base_irregular("kmeans");
+    p.divergent_load_frac = 0.40;
+    p.divergent_lines_mean = 10.0;
+    p.cluster_len_mean = 2.4;
+    p.store_frac = 0.10;
+    p.mem_instr_frac = 0.20;
+    p.streaming_frac = 0.50;
+    p.footprint_bytes = 256ULL << 20;
+    suite.push_back(p);
+  }
+  // MARS: PageViewCount — hash-table scatter/gather, bandwidth hungry.
+  {
+    WorkloadProfile p = base_irregular("PVC");
+    p.divergent_load_frac = 0.60;
+    p.divergent_lines_mean = 13.0;
+    p.cluster_len_mean = 2.0;
+    p.store_frac = 0.25;
+    p.hot_frac = 0.30;
+    p.hot_bytes = 256ULL << 10;
+    p.streaming_frac = 0.35;
+    p.mem_instr_frac = 0.24;
+    p.footprint_bytes = 320ULL << 20;
+    suite.push_back(p);
+  }
+  // MARS: SimilarityScore — pairwise scoring, write-intensive, clustered.
+  {
+    WorkloadProfile p = base_irregular("SS");
+    p.divergent_load_frac = 0.55;
+    p.divergent_lines_mean = 8.0;
+    p.cluster_len_mean = 3.4;
+    p.store_frac = 0.35;
+    p.hot_frac = 0.30;
+    p.hot_bytes = 128ULL << 10;
+    p.streaming_frac = 0.40;
+    p.mem_instr_frac = 0.23;
+    p.footprint_bytes = 192ULL << 20;
+    suite.push_back(p);
+  }
+  // LonestarGPU: Survey Propagation — random factor-graph walks.
+  {
+    WorkloadProfile p = base_irregular("sp");
+    p.divergent_load_frac = 0.60;
+    p.divergent_lines_mean = 11.0;
+    p.cluster_len_mean = 2.0;
+    p.store_frac = 0.10;
+    p.streaming_frac = 0.30;
+    p.mem_instr_frac = 0.21;
+    p.hot_frac = 0.30;
+    p.hot_bytes = 256ULL << 10;
+    p.footprint_bytes = 256ULL << 20;
+    suite.push_back(p);
+  }
+  // LonestarGPU: Barnes-Hut — irregular oct-tree walks with a hot root.
+  {
+    WorkloadProfile p = base_irregular("bh");
+    p.divergent_load_frac = 0.60;
+    p.divergent_lines_mean = 10.0;
+    p.cluster_len_mean = 2.2;
+    p.store_frac = 0.15;
+    p.streaming_frac = 0.30;
+    p.mem_instr_frac = 0.21;
+    p.footprint_bytes = 256ULL << 20;
+    p.hot_frac = 0.40;  // upper tree levels shared by all warps
+    p.hot_bytes = 128ULL << 10;
+    suite.push_back(p);
+  }
+  // LonestarGPU: Single-Source Shortest Paths — worklist over CSR graph.
+  {
+    WorkloadProfile p = base_irregular("sssp");
+    p.divergent_load_frac = 0.65;
+    p.divergent_lines_mean = 13.0;
+    p.cluster_len_mean = 2.0;
+    p.store_frac = 0.15;
+    p.streaming_frac = 0.35;
+    p.mem_instr_frac = 0.22;
+    p.hot_frac = 0.30;
+    p.hot_bytes = 256ULL << 10;
+    p.footprint_bytes = 384ULL << 20;
+    suite.push_back(p);
+  }
+  // Parboil: SpMV — row-pointer streaming plus scattered column gathers.
+  {
+    WorkloadProfile p = base_irregular("spmv");
+    p.divergent_load_frac = 0.70;
+    p.divergent_lines_mean = 15.0;
+    p.cluster_len_mean = 1.8;
+    p.store_frac = 0.05;
+    p.mem_instr_frac = 0.23;
+    p.streaming_frac = 0.45;
+    p.footprint_bytes = 448ULL << 20;
+    suite.push_back(p);
+  }
+  // Parboil: Sum of Absolute Differences — block matching; long clusters
+  // keep each warp on 1-2 channels; write-heavy result stores.
+  {
+    WorkloadProfile p = base_irregular("sad");
+    p.divergent_load_frac = 0.50;
+    p.divergent_lines_mean = 8.0;
+    p.cluster_len_mean = 4.0;
+    p.store_frac = 0.35;
+    p.streaming_frac = 0.50;
+    p.mem_instr_frac = 0.24;
+    p.footprint_bytes = 128ULL << 20;
+    suite.push_back(p);
+  }
+  return suite;
+}
+
+std::vector<WorkloadProfile> regular_suite() {
+  std::vector<WorkloadProfile> suite;
+  suite.push_back(base_regular("streamcluster"));
+  {
+    WorkloadProfile p = base_regular("srad2");
+    p.mem_instr_frac = 0.24;
+    p.store_frac = 0.25;
+    suite.push_back(p);
+  }
+  {
+    WorkloadProfile p = base_regular("bp");
+    p.store_frac = 0.20;
+    p.footprint_bytes = 128ULL << 20;
+    suite.push_back(p);
+  }
+  {
+    WorkloadProfile p = base_regular("hotspot");
+    p.mem_instr_frac = 0.20;
+    p.hot_frac = 0.15;
+    suite.push_back(p);
+  }
+  {
+    WorkloadProfile p = base_regular("invertedindex");
+    p.divergent_load_frac = 0.10;
+    p.divergent_lines_mean = 3.0;
+    p.store_frac = 0.18;
+    suite.push_back(p);
+  }
+  {
+    WorkloadProfile p = base_regular("pageviewrank");
+    p.divergent_load_frac = 0.08;
+    p.store_frac = 0.12;
+    suite.push_back(p);
+  }
+  return suite;
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  for (const auto& suite : {irregular_suite(), regular_suite()}) {
+    for (const WorkloadProfile& p : suite) {
+      if (p.name == name) return p;
+    }
+  }
+  LATDIV_UNREACHABLE("unknown workload profile name");
+}
+
+}  // namespace latdiv

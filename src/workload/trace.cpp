@@ -1,0 +1,128 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace latdiv {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'D', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n) {
+  const std::size_t written = std::fwrite(data, 1, n, f);
+  LATDIV_ASSERT(written == n, "trace write failed (disk full?)");
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n) {
+  const std::size_t got = std::fread(data, 1, n, f);
+  LATDIV_ASSERT(got == n, "trace truncated or unreadable");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& value) {
+  write_bytes(f, &value, sizeof value);
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T value;
+  read_bytes(f, &value, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, std::uint32_t sms,
+                         std::uint32_t warps_per_sm) {
+  file_ = std::fopen(path.c_str(), "wb");
+  LATDIV_ASSERT(file_ != nullptr, "cannot open trace file for writing");
+  write_bytes(file_, kMagic, sizeof kMagic);
+  write_pod(file_, kVersion);
+  write_pod(file_, sms);
+  write_pod(file_, warps_per_sm);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TraceWriter::record(SmId sm, WarpId warp, const WarpInstr& instr) {
+  LATDIV_ASSERT(file_ != nullptr, "record after close");
+  write_pod(file_, sm);
+  write_pod(file_, warp);
+  write_pod(file_, static_cast<std::uint8_t>(instr.kind));
+  write_pod(file_, instr.active_lanes);
+  write_pod(file_, instr.latency);
+  if (instr.kind != WarpInstr::Kind::kCompute) {
+    write_bytes(file_, instr.lane_addr.data(),
+                sizeof(Addr) * instr.active_lanes);
+  }
+  ++records_;
+}
+
+TraceReplayer::TraceReplayer(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  LATDIV_ASSERT(f != nullptr, "cannot open trace file for reading");
+  char magic[4];
+  read_bytes(f, magic, sizeof magic);
+  LATDIV_ASSERT(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "not a latdiv trace file");
+  const auto version = read_pod<std::uint32_t>(f);
+  LATDIV_ASSERT(version == kVersion, "unsupported trace version");
+  sms_ = read_pod<std::uint32_t>(f);
+  warps_per_sm_ = read_pod<std::uint32_t>(f);
+  LATDIV_ASSERT(sms_ > 0 && warps_per_sm_ > 0, "empty trace geometry");
+  streams_.resize(static_cast<std::size_t>(sms_) * warps_per_sm_);
+
+  while (true) {
+    SmId sm;
+    const std::size_t got = std::fread(&sm, 1, sizeof sm, f);
+    if (got == 0) break;  // clean EOF
+    LATDIV_ASSERT(got == sizeof sm, "trace truncated mid-record");
+    const auto warp = read_pod<WarpId>(f);
+    WarpInstr instr;
+    instr.kind = static_cast<WarpInstr::Kind>(read_pod<std::uint8_t>(f));
+    instr.active_lanes = read_pod<std::uint8_t>(f);
+    instr.latency = read_pod<std::uint32_t>(f);
+    LATDIV_ASSERT(instr.active_lanes <= kWarpLanes, "corrupt lane count");
+    if (instr.kind != WarpInstr::Kind::kCompute) {
+      read_bytes(f, instr.lane_addr.data(), sizeof(Addr) * instr.active_lanes);
+    }
+    LATDIV_ASSERT(sm < sms_ && warp < warps_per_sm_,
+                  "trace record outside declared geometry");
+    stream(sm, warp).instrs.push_back(instr);
+    ++total_;
+  }
+  std::fclose(f);
+  LATDIV_ASSERT(total_ > 0, "trace contains no records");
+}
+
+TraceReplayer::WarpStream& TraceReplayer::stream(SmId sm, WarpId warp) {
+  return streams_[static_cast<std::size_t>(sm) * warps_per_sm_ + warp];
+}
+
+WarpInstr TraceReplayer::next(SmId sm, WarpId warp) {
+  LATDIV_ASSERT(sm < sms_ && warp < warps_per_sm_,
+                "replay outside trace geometry");
+  WarpStream& ws = stream(sm, warp);
+  if (ws.instrs.empty()) {
+    // A warp with no recorded activity idles on compute.
+    WarpInstr idle;
+    idle.kind = WarpInstr::Kind::kCompute;
+    idle.latency = 16;
+    return idle;
+  }
+  const WarpInstr& instr = ws.instrs[ws.pos];
+  ws.pos = (ws.pos + 1) % ws.instrs.size();
+  return instr;
+}
+
+}  // namespace latdiv

@@ -1,0 +1,94 @@
+// Instruction-trace capture and replay.
+//
+// A trace records the per-warp instruction stream (kind, latency, lane
+// addresses) in a compact binary format, so a workload can be:
+//   * captured once from the statistical generator and replayed
+//     bit-identically across scheduler comparisons or library versions;
+//   * produced by an external tool (e.g. converted from a real
+//     GPGPU-Sim/NVBit trace) and fed into latdiv's memory system.
+//
+// File layout (little-endian, host-order — traces are a local-machine
+// interchange format, not an archival one):
+//   header:  magic "LDTR", u32 version, u32 sms, u32 warps_per_sm
+//   records: u16 sm, u16 warp, u8 kind, u8 active_lanes, u32 latency,
+//            then active_lanes u64 lane addresses (memory records only)
+//
+// Replay is keyed by (sm, warp): each warp consumes its own subsequence
+// in order and wraps when it runs out, so a trace captured on a machine
+// configuration can drive longer runs too.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/instr.hpp"
+#include "workload/instr_source.hpp"
+
+namespace latdiv {
+
+/// Streams instruction records to a file as they are recorded.
+class TraceWriter {
+ public:
+  TraceWriter(const std::string& path, std::uint32_t sms,
+              std::uint32_t warps_per_sm);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void record(SmId sm, WarpId warp, const WarpInstr& instr);
+  /// Flush and close; called by the destructor if not called earlier.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+/// Wraps another source, recording everything that passes through.
+class RecordingSource final : public InstrSource {
+ public:
+  RecordingSource(InstrSource& inner, TraceWriter& writer)
+      : inner_(inner), writer_(writer) {}
+
+  [[nodiscard]] WarpInstr next(SmId sm, WarpId warp) override {
+    WarpInstr instr = inner_.next(sm, warp);
+    writer_.record(sm, warp, instr);
+    return instr;
+  }
+
+ private:
+  InstrSource& inner_;
+  TraceWriter& writer_;
+};
+
+/// Loads a trace into memory and replays each warp's stream in order,
+/// wrapping at the end of that warp's subsequence.
+class TraceReplayer final : public InstrSource {
+ public:
+  explicit TraceReplayer(const std::string& path);
+
+  [[nodiscard]] WarpInstr next(SmId sm, WarpId warp) override;
+
+  [[nodiscard]] std::uint32_t sms() const { return sms_; }
+  [[nodiscard]] std::uint32_t warps_per_sm() const { return warps_per_sm_; }
+  [[nodiscard]] std::uint64_t total_records() const { return total_; }
+
+ private:
+  struct WarpStream {
+    std::vector<WarpInstr> instrs;
+    std::size_t pos = 0;
+  };
+
+  [[nodiscard]] WarpStream& stream(SmId sm, WarpId warp);
+
+  std::uint32_t sms_ = 0;
+  std::uint32_t warps_per_sm_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<WarpStream> streams_;
+};
+
+}  // namespace latdiv

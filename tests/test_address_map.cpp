@@ -1,0 +1,135 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace latdiv {
+namespace {
+
+AddressMap make_map(bool xor_channel = true, bool xor_bank = true) {
+  AddressMapConfig cfg;
+  cfg.xor_channel_hash = xor_channel;
+  cfg.xor_bank_permutation = xor_bank;
+  return AddressMap(cfg);
+}
+
+TEST(AddressMap, LineBaseAligns) {
+  const AddressMap m = make_map();
+  EXPECT_EQ(m.line_base(0), 0u);
+  EXPECT_EQ(m.line_base(127), 0u);
+  EXPECT_EQ(m.line_base(128), 128u);
+  EXPECT_EQ(m.line_base(0xABCDEF), 0xABCDEF & ~0x7Full);
+}
+
+TEST(AddressMap, FieldsInRange) {
+  const AddressMap m = make_map();
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const DramLoc loc = m.decode(rng.next() & ((1ULL << 40) - 1));
+    EXPECT_LT(loc.channel, 6);
+    EXPECT_LT(loc.bank, 16);
+    EXPECT_LT(loc.bank_group, 4);
+    EXPECT_EQ(loc.bank_group, loc.bank / 4);
+    EXPECT_LT(loc.col, 16u);
+  }
+}
+
+TEST(AddressMap, DecodeIsDeterministic) {
+  const AddressMap m = make_map();
+  EXPECT_EQ(m.decode(0x12345680), m.decode(0x12345680));
+}
+
+TEST(AddressMap, LinesWithinGranuleShareEverything) {
+  // Two 128B lines inside one 256B granule: same channel, bank, row.
+  const AddressMap m = make_map();
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr base = (rng.next() & ((1ULL << 38) - 1)) & ~0xFFull;
+    const DramLoc a = m.decode(base);
+    const DramLoc b = m.decode(base + 128);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_NE(a.col, b.col);
+  }
+}
+
+TEST(AddressMap, ConsecutiveGranulesSpreadChannels) {
+  // A 2KB contiguous span must not camp on one channel.
+  const AddressMap m = make_map();
+  std::set<ChannelId> channels;
+  const Addr base = 0x4000000;
+  for (Addr off = 0; off < 2048; off += 256) {
+    channels.insert(m.decode(base + off).channel);
+  }
+  EXPECT_GE(channels.size(), 4u);
+}
+
+TEST(AddressMap, ConsecutiveLinesShareRowAndBankWithinRowSpan) {
+  // Within one 2KB row span the row and bank ids are constant.
+  const AddressMap m = make_map();
+  const Addr base = 0x10000000;  // 2KB-aligned (bits [10:0] zero)
+  const DramLoc first = m.decode(base);
+  for (Addr off = 0; off < 2048; off += 128) {
+    const DramLoc loc = m.decode(base + off);
+    EXPECT_EQ(loc.row, first.row);
+    EXPECT_EQ(loc.bank, first.bank);
+  }
+}
+
+TEST(AddressMap, ChannelHashBreaksPowerOfTwoStrides) {
+  // A 2048-byte stride keeps addr[10:8] fixed; without the XOR hash all
+  // accesses with the same addr[10:8] residue would hammer a subset of
+  // channels determined by the modulo alone.  With the hash the high bits
+  // get mixed in, spreading the stream.
+  const AddressMap hashed = make_map(true, true);
+  std::set<ChannelId> with_hash;
+  for (Addr i = 0; i < 64; ++i) {
+    with_hash.insert(hashed.decode(i * 2048).channel);
+  }
+  EXPECT_EQ(with_hash.size(), 6u);
+}
+
+TEST(AddressMap, BankPermutationBreaks32KbStrides) {
+  // Stride of 32KB keeps addr[14:11] constant: without permutation every
+  // access maps to one bank.
+  const AddressMap plain = make_map(true, false);
+  const AddressMap permuted = make_map(true, true);
+  std::set<BankId> banks_plain;
+  std::set<BankId> banks_perm;
+  for (Addr i = 0; i < 64; ++i) {
+    banks_plain.insert(plain.decode(i * 32768).bank);
+    banks_perm.insert(permuted.decode(i * 32768).bank);
+  }
+  EXPECT_EQ(banks_plain.size(), 1u);
+  EXPECT_GT(banks_perm.size(), 8u);
+}
+
+TEST(AddressMap, ChannelsRoughlyBalancedOnRandomTraffic) {
+  const AddressMap m = make_map();
+  Rng rng(3);
+  std::vector<int> counts(6, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[m.decode(rng.next() & ((1ULL << 36) - 1)).channel];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 6, kDraws / 6 / 5);
+}
+
+TEST(AddressMap, BanksRoughlyBalancedOnRandomTraffic) {
+  const AddressMap m = make_map();
+  Rng rng(4);
+  std::vector<int> counts(16, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[m.decode(rng.next() & ((1ULL << 36) - 1)).bank];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 16, kDraws / 16 / 5);
+}
+
+}  // namespace
+}  // namespace latdiv

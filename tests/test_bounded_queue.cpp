@@ -1,0 +1,80 @@
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace latdiv {
+namespace {
+
+TEST(BoundedQueue, StartsEmpty) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, FullAtCapacity) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  EXPECT_FALSE(q.full());
+  q.push(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.free_slots(), 0u);
+}
+
+TEST(BoundedQueue, EraseFromMiddle) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  auto it = q.begin();
+  ++it;
+  ++it;  // points at 2
+  q.erase(it);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.pop(), 0);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(BoundedQueue, IterationSeesArrivalOrder) {
+  BoundedQueue<std::string> q(4);
+  q.push("a");
+  q.push("b");
+  std::string joined;
+  for (const auto& s : q) joined += s;
+  EXPECT_EQ(joined, "ab");
+}
+
+TEST(BoundedQueue, FrontPeeksWithoutRemoval) {
+  BoundedQueue<int> q(2);
+  q.push(9);
+  EXPECT_EQ(q.front(), 9);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueDeath, PushOnFullAborts) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  EXPECT_DEATH(q.push(2), "full");
+}
+
+TEST(BoundedQueueDeath, PopOnEmptyAborts) {
+  BoundedQueue<int> q(1);
+  EXPECT_DEATH((void)q.pop(), "empty");
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -1,0 +1,254 @@
+// The GDDR5 channel timing checker is the foundation everything above it
+// trusts; these tests pin each constraint from Table II individually.
+#include "dram/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/params.hpp"
+
+namespace latdiv {
+namespace {
+
+DramTiming timing_no_refresh() {
+  DramParams p;
+  p.refresh_enabled = false;
+  return DramTiming::from(p);
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : t_(timing_no_refresh()), ch_(t_) {}
+
+  /// Issue `cmd` at the first legal cycle at or after `from`; returns the
+  /// pair (issue cycle, data-completion cycle).
+  std::pair<Cycle, Cycle> issue_when_legal(const DramCommand& cmd,
+                                           Cycle from) {
+    Cycle c = from;
+    while (!ch_.can_issue(cmd, c)) {
+      ++c;
+      EXPECT_LT(c, from + 100000) << "command never became legal";
+    }
+    return {c, ch_.issue(cmd, c)};
+  }
+
+  DramTiming t_;
+  Channel ch_;
+};
+
+TEST_F(ChannelTest, BanksStartClosed) {
+  for (BankId b = 0; b < 16; ++b) EXPECT_EQ(ch_.open_row(b), kNoRow);
+  EXPECT_TRUE(ch_.all_banks_closed());
+}
+
+TEST_F(ChannelTest, ReadIllegalOnClosedBank) {
+  EXPECT_FALSE(ch_.can_issue({DramCmd::kRead, 0, 5}, 10));
+}
+
+TEST_F(ChannelTest, ActivateOpensRow) {
+  ASSERT_TRUE(ch_.can_issue({DramCmd::kActivate, 3, 77}, 1));
+  ch_.issue({DramCmd::kActivate, 3, 77}, 1);
+  EXPECT_EQ(ch_.open_row(3), 77u);
+  EXPECT_FALSE(ch_.all_banks_closed());
+}
+
+TEST_F(ChannelTest, TrcdGatesFirstRead) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  const DramCommand rd{DramCmd::kRead, 0, 9};
+  EXPECT_FALSE(ch_.can_issue(rd, 1 + t_.trcd - 1));
+  EXPECT_TRUE(ch_.can_issue(rd, 1 + t_.trcd));
+}
+
+TEST_F(ChannelTest, ReadToWrongRowIllegal) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  EXPECT_FALSE(ch_.can_issue({DramCmd::kRead, 0, 10}, 1 + t_.trcd));
+}
+
+TEST_F(ChannelTest, ReadCompletionIsCasPlusBurst) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  const Cycle rd_at = 1 + t_.trcd;
+  const Cycle done = ch_.issue({DramCmd::kRead, 0, 9}, rd_at);
+  EXPECT_EQ(done, rd_at + t_.tcas + t_.tburst);
+}
+
+TEST_F(ChannelTest, TrasGatesPrecharge) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  const DramCommand pre{DramCmd::kPrecharge, 0, kNoRow};
+  EXPECT_FALSE(ch_.can_issue(pre, 1 + t_.tras - 1));
+  EXPECT_TRUE(ch_.can_issue(pre, 1 + t_.tras));
+}
+
+TEST_F(ChannelTest, TrtpExtendsPrechargeAfterLateRead) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  // Read issued near the end of tRAS pushes the precharge point to
+  // read + tRTP.
+  const Cycle rd_at = 1 + t_.tras - 1;
+  ch_.issue({DramCmd::kRead, 0, 9}, rd_at);
+  const DramCommand pre{DramCmd::kPrecharge, 0, kNoRow};
+  EXPECT_FALSE(ch_.can_issue(pre, rd_at + t_.trtp - 1));
+  EXPECT_TRUE(ch_.can_issue(pre, rd_at + t_.trtp));
+}
+
+TEST_F(ChannelTest, TrpGatesReactivation) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  const auto [pre_at, _] =
+      issue_when_legal({DramCmd::kPrecharge, 0, kNoRow}, 1);
+  const DramCommand act{DramCmd::kActivate, 0, 10};
+  EXPECT_FALSE(ch_.can_issue(act, pre_at + t_.trp - 1));
+  EXPECT_TRUE(ch_.can_issue(act, pre_at + t_.trp));
+  EXPECT_EQ(ch_.open_row(0), kNoRow);
+}
+
+TEST_F(ChannelTest, TrcGatesSameBankActToAct) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  issue_when_legal({DramCmd::kPrecharge, 0, kNoRow}, 1);
+  // Even though tRP elapsed, tRC from the first ACT must also hold.
+  const DramCommand act{DramCmd::kActivate, 0, 10};
+  Cycle c = 1;
+  while (!ch_.can_issue(act, c)) ++c;
+  EXPECT_GE(c, 1 + t_.trc);
+}
+
+TEST_F(ChannelTest, TrrdGatesDifferentBankActivates) {
+  ch_.issue({DramCmd::kActivate, 0, 9}, 1);
+  const DramCommand act{DramCmd::kActivate, 1, 9};
+  EXPECT_FALSE(ch_.can_issue(act, 1 + t_.trrd - 1));
+  EXPECT_TRUE(ch_.can_issue(act, 1 + t_.trrd));
+}
+
+TEST_F(ChannelTest, TfawLimitsFourActivatesInWindow) {
+  // Four activates at the tRRD rate, then the fifth must wait for tFAW
+  // from the first.
+  Cycle c = 1;
+  for (BankId b = 0; b < 4; ++b) {
+    auto [at, _] = issue_when_legal({DramCmd::kActivate, b, 1}, c);
+    c = at;
+  }
+  const Cycle first_act = 1;
+  const DramCommand fifth{DramCmd::kActivate, 4, 1};
+  Cycle fifth_at = c;
+  while (!ch_.can_issue(fifth, fifth_at)) ++fifth_at;
+  EXPECT_GE(fifth_at, first_act + t_.tfaw);
+}
+
+TEST_F(ChannelTest, CcdLongWithinBankGroupShortAcross) {
+  // Banks 0 and 1 share a group; bank 4 is in the next group.
+  ch_.issue({DramCmd::kActivate, 0, 1}, 1);
+  issue_when_legal({DramCmd::kActivate, 1, 1}, 2);
+  issue_when_legal({DramCmd::kActivate, 4, 1}, 20);
+  auto [rd0_at, _] = issue_when_legal({DramCmd::kRead, 0, 1}, 60);
+
+  // Same group: tCCDL.
+  const DramCommand rd_same{DramCmd::kRead, 1, 1};
+  EXPECT_FALSE(ch_.can_issue(rd_same, rd0_at + t_.tccdl - 1));
+  EXPECT_TRUE(ch_.can_issue(rd_same, rd0_at + t_.tccdl));
+  // Different group: tCCDS (shorter).
+  const DramCommand rd_diff{DramCmd::kRead, 4, 1};
+  EXPECT_FALSE(ch_.can_issue(rd_diff, rd0_at + t_.tccds - 1));
+  EXPECT_TRUE(ch_.can_issue(rd_diff, rd0_at + t_.tccds));
+}
+
+TEST_F(ChannelTest, WriteToReadTurnaround) {
+  ch_.issue({DramCmd::kActivate, 0, 1}, 1);
+  auto [wr_at, _] = issue_when_legal({DramCmd::kWrite, 0, 1}, 1 + t_.trcd);
+  const DramCommand rd{DramCmd::kRead, 0, 1};
+  EXPECT_FALSE(ch_.can_issue(rd, wr_at + t_.write_to_read() - 1));
+  EXPECT_TRUE(ch_.can_issue(rd, wr_at + t_.write_to_read()));
+}
+
+TEST_F(ChannelTest, ReadToWriteTurnaround) {
+  ch_.issue({DramCmd::kActivate, 0, 1}, 1);
+  auto [rd_at, _] = issue_when_legal({DramCmd::kRead, 0, 1}, 1 + t_.trcd);
+  const DramCommand wr{DramCmd::kWrite, 0, 1};
+  EXPECT_FALSE(ch_.can_issue(wr, rd_at + t_.read_to_write() - 1));
+  EXPECT_TRUE(ch_.can_issue(wr, rd_at + t_.read_to_write()));
+}
+
+TEST_F(ChannelTest, WriteRecoveryGatesPrecharge) {
+  ch_.issue({DramCmd::kActivate, 0, 1}, 1);
+  auto [wr_at, data_end] = issue_when_legal({DramCmd::kWrite, 0, 1}, 200);
+  EXPECT_EQ(data_end, wr_at + t_.twl + t_.tburst);
+  const DramCommand pre{DramCmd::kPrecharge, 0, kNoRow};
+  EXPECT_FALSE(ch_.can_issue(pre, data_end + t_.twr - 1));
+  EXPECT_TRUE(ch_.can_issue(pre, data_end + t_.twr));
+}
+
+TEST_F(ChannelTest, StatsCountCommands) {
+  ch_.issue({DramCmd::kActivate, 0, 1}, 1);
+  issue_when_legal({DramCmd::kRead, 0, 1}, 1 + t_.trcd);
+  issue_when_legal({DramCmd::kRead, 0, 1}, 1 + t_.trcd + t_.tccdl);
+  issue_when_legal({DramCmd::kPrecharge, 0, kNoRow}, 200);
+  const ChannelStats& s = ch_.stats();
+  EXPECT_EQ(s.activates, 1u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.precharges, 1u);
+  EXPECT_EQ(s.data_bus_busy_cycles, 2 * t_.tburst);
+}
+
+TEST_F(ChannelTest, PrechargeOnClosedBankIllegal) {
+  EXPECT_FALSE(ch_.can_issue({DramCmd::kPrecharge, 2, kNoRow}, 5));
+}
+
+TEST(ChannelRefresh, DueAfterTrefi) {
+  DramParams p;  // refresh on
+  const DramTiming t = DramTiming::from(p);
+  Channel ch(t);
+  EXPECT_FALSE(ch.refresh_due(t.trefi - 1));
+  EXPECT_TRUE(ch.refresh_due(t.trefi));
+}
+
+TEST(ChannelRefresh, RequiresAllBanksClosed) {
+  DramParams p;
+  const DramTiming t = DramTiming::from(p);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  const DramCommand ref{DramCmd::kRefresh, 0, kNoRow};
+  EXPECT_FALSE(ch.can_issue(ref, t.trefi));
+  Cycle c = 1;
+  while (!ch.can_issue({DramCmd::kPrecharge, 0, kNoRow}, c)) ++c;
+  ch.issue({DramCmd::kPrecharge, 0, kNoRow}, c);
+  Cycle r = c + 1;
+  while (!ch.can_issue(ref, r)) ++r;
+  EXPECT_GE(r, c + t.trp);  // precharge must complete first
+  ch.issue(ref, r);
+  EXPECT_EQ(ch.stats().refreshes, 1u);
+  // Banks blocked for tRFC.
+  EXPECT_FALSE(ch.can_issue({DramCmd::kActivate, 5, 1}, r + t.trfc - 1));
+  EXPECT_TRUE(ch.can_issue({DramCmd::kActivate, 5, 1}, r + t.trfc));
+}
+
+TEST(ChannelDeath, IllegalIssueAborts) {
+  DramParams p;
+  p.refresh_enabled = false;
+  Channel ch(DramTiming::from(p));
+  EXPECT_DEATH(ch.issue({DramCmd::kRead, 0, 1}, 1), "illegal");
+}
+
+TEST(ChannelDeath, TwoCommandsSameCycleAborts) {
+  DramParams p;
+  p.refresh_enabled = false;
+  const DramTiming t = DramTiming::from(p);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  // At cycle 1 + tRCD both a read to bank 0 and an activate to bank 4 are
+  // individually legal — issuing both in one cycle must trip the
+  // single-command-bus assertion.
+  const Cycle at = 1 + t.trcd;
+  ch.issue({DramCmd::kRead, 0, 1}, at);
+  ASSERT_TRUE(ch.can_issue({DramCmd::kActivate, 4, 1}, at));
+  EXPECT_DEATH(ch.issue({DramCmd::kActivate, 4, 1}, at), "command bus");
+}
+
+TEST(ChannelIdle, IdleCycleAccounting) {
+  DramParams p;
+  p.refresh_enabled = false;
+  Channel ch(DramTiming::from(p));
+  ch.on_cycle_end(0);
+  ch.on_cycle_end(1);
+  EXPECT_EQ(ch.stats().all_banks_idle_cycles, 2u);
+  ch.issue({DramCmd::kActivate, 0, 1}, 2);
+  ch.on_cycle_end(2);
+  EXPECT_EQ(ch.stats().all_banks_idle_cycles, 2u);
+}
+
+}  // namespace
+}  // namespace latdiv

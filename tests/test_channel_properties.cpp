@@ -1,0 +1,166 @@
+// Parameterised timing properties: the channel's constraints must hold
+// for ANY self-consistent device parameters, not just the two shipped
+// presets.  Each trial varies the device, drives a canonical command
+// pattern, and checks constraint-derived invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/channel.hpp"
+#include "dram/params.hpp"
+
+namespace latdiv {
+namespace {
+
+struct Device {
+  const char* name;
+  DramParams params;
+};
+
+std::vector<Device> devices() {
+  DramParams g = gddr5_params();
+  g.refresh_enabled = false;
+  DramParams d = ddr3_1600_params();
+  d.refresh_enabled = false;
+  DramParams slow = g;  // a deliberately sluggish hypothetical part
+  slow.trcd_ns *= 2.0;
+  slow.trp_ns *= 2.0;
+  slow.tras_ns *= 1.5;
+  slow.trc_ns = slow.tras_ns + slow.trp_ns;
+  DramParams fast = g;  // near-degenerate fast part
+  fast.trrd_ns = 1.0;
+  fast.tfaw_ns = 4.0;
+  return {{"gddr5", g}, {"ddr3", d}, {"slow", slow}, {"fast", fast}};
+}
+
+class DeviceProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  Device device() const { return devices()[GetParam()]; }
+};
+
+INSTANTIATE_TEST_SUITE_P(Devices, DeviceProperty,
+                         ::testing::Values(0u, 1u, 2u, 3u),
+                         [](const auto& info) {
+                           return std::string(devices()[info.param].name);
+                         });
+
+Cycle first_legal(Channel& ch, const DramCommand& cmd, Cycle from) {
+  Cycle c = from;
+  while (!ch.can_issue(cmd, c)) {
+    ++c;
+    EXPECT_LT(c, from + 1'000'000) << "never became legal";
+  }
+  return c;
+}
+
+TEST_P(DeviceProperty, ActToReadIsExactlyTrcd) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  EXPECT_EQ(first_legal(ch, {DramCmd::kRead, 0, 1}, 1), 1 + t.trcd);
+}
+
+TEST_P(DeviceProperty, ActToPreIsExactlyTras) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  EXPECT_EQ(first_legal(ch, {DramCmd::kPrecharge, 0, kNoRow}, 1), 1 + t.tras);
+}
+
+TEST_P(DeviceProperty, RowCycleIsExactlyTrc) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  const Cycle pre = first_legal(ch, {DramCmd::kPrecharge, 0, kNoRow}, 1);
+  ch.issue({DramCmd::kPrecharge, 0, kNoRow}, pre);
+  const Cycle act2 = first_legal(ch, {DramCmd::kActivate, 0, 2}, pre);
+  EXPECT_EQ(act2, std::max(1 + t.trc, pre + t.trp));
+}
+
+TEST_P(DeviceProperty, BackToBackReadsRespectCcd) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  const Cycle rd1 = first_legal(ch, {DramCmd::kRead, 0, 1}, 1);
+  ch.issue({DramCmd::kRead, 0, 1}, rd1);
+  const Cycle rd2 = first_legal(ch, {DramCmd::kRead, 0, 1}, rd1 + 1);
+  EXPECT_EQ(rd2, rd1 + t.tccdl);
+}
+
+TEST_P(DeviceProperty, FourActWindowHolds) {
+  const DramTiming t = DramTiming::from(device().params);
+  if (t.banks < 5) GTEST_SKIP() << "needs 5 banks";
+  Channel ch(t);
+  Cycle c = 1;
+  Cycle first_act = 0;
+  for (BankId b = 0; b < 4; ++b) {
+    c = first_legal(ch, {DramCmd::kActivate, b, 1}, c);
+    if (b == 0) first_act = c;
+    ch.issue({DramCmd::kActivate, b, 1}, c);
+    ++c;
+  }
+  const Cycle fifth = first_legal(ch, {DramCmd::kActivate, 4, 1}, c);
+  EXPECT_GE(fifth, first_act + t.tfaw);
+}
+
+TEST_P(DeviceProperty, WriteReadTurnaroundBothWays) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  const Cycle wr = first_legal(ch, {DramCmd::kWrite, 0, 1}, 1);
+  ch.issue({DramCmd::kWrite, 0, 1}, wr);
+  EXPECT_EQ(first_legal(ch, {DramCmd::kRead, 0, 1}, wr + 1),
+            wr + t.write_to_read());
+}
+
+TEST_P(DeviceProperty, RandomLegalStreamNeverOverlapsDataBus) {
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  Rng rng(GetParam() + 100);
+  Cycle now = 0;
+  for (int step = 0; step < 30000; ++step) {
+    ++now;
+    DramCommand cmd;
+    cmd.bank = static_cast<BankId>(rng.below(t.banks));
+    switch (rng.below(4)) {
+      case 0:
+        cmd.cmd = DramCmd::kActivate;
+        cmd.row = static_cast<RowId>(rng.below(32));
+        break;
+      case 1:
+        cmd.cmd = DramCmd::kPrecharge;
+        break;
+      default:
+        cmd.cmd = rng.chance(0.6) ? DramCmd::kRead : DramCmd::kWrite;
+        cmd.row = ch.open_row(cmd.bank);
+        if (cmd.row == kNoRow) continue;
+    }
+    // issue() itself asserts data-bus integrity and timing legality.
+    if (ch.can_issue(cmd, now)) ch.issue(cmd, now);
+  }
+  EXPECT_LE(ch.stats().data_bus_busy_cycles, now);
+}
+
+TEST_P(DeviceProperty, ThroughputCeilingRespectsBurstLength) {
+  // Stream row hits flat out on one bank: the achieved CAS rate can never
+  // beat one per tCCDL.
+  const DramTiming t = DramTiming::from(device().params);
+  Channel ch(t);
+  ch.issue({DramCmd::kActivate, 0, 1}, 1);
+  Cycle now = 1 + t.trcd;
+  const Cycle start = now;
+  std::uint64_t reads = 0;
+  while (now < start + 3000) {
+    if (ch.can_issue({DramCmd::kRead, 0, 1}, now)) {
+      ch.issue({DramCmd::kRead, 0, 1}, now);
+      ++reads;
+    }
+    ++now;
+  }
+  EXPECT_LE(reads, 3000 / t.tccdl + 1);
+  EXPECT_GE(reads, 3000 / t.tccdl - 1);
+}
+
+}  // namespace
+}  // namespace latdiv

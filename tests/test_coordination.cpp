@@ -1,0 +1,103 @@
+#include "core/coordination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dram/params.hpp"
+#include "mc/controller.hpp"
+
+namespace latdiv {
+namespace {
+
+DramTiming timing_no_refresh() {
+  DramParams p;
+  p.refresh_enabled = false;
+  return DramTiming::from(p);
+}
+
+struct Probe : TransactionScheduler {
+  const char* name() const override { return "probe"; }
+  void schedule_reads(MemoryController&, Cycle) override {}
+  void on_remote_selection(MemoryController&, const CoordMsg& msg,
+                           Cycle now) override {
+    received.emplace_back(msg, now);
+  }
+  std::vector<std::pair<CoordMsg, Cycle>> received;
+};
+
+struct Net {
+  Net(std::size_t n, Cycle latency) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto probe = std::make_unique<Probe>();
+      probes.push_back(probe.get());
+      mcs.push_back(std::make_unique<MemoryController>(
+          static_cast<ChannelId>(i), McConfig{}, timing_no_refresh(),
+          std::move(probe), nullptr));
+    }
+    std::vector<MemoryController*> raw;
+    for (auto& mc : mcs) raw.push_back(mc.get());
+    net = std::make_unique<CoordinationNetwork>(raw, latency);
+  }
+  std::vector<Probe*> probes;
+  std::vector<std::unique_ptr<MemoryController>> mcs;
+  std::unique_ptr<CoordinationNetwork> net;
+};
+
+TEST(Coordination, BroadcastReachesAllOthersNotSource) {
+  Net n(6, 4);
+  n.mcs[2]->announce_selection(WarpTag{1, 2, 42}, 7);
+  for (Cycle c = 0; c < 10; ++c) n.net->tick(c);
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 2) {
+      EXPECT_TRUE(n.probes[i]->received.empty());
+    } else {
+      ASSERT_EQ(n.probes[i]->received.size(), 1u) << "controller " << i;
+      EXPECT_EQ(n.probes[i]->received[0].first.tag.instr, 42u);
+      EXPECT_EQ(n.probes[i]->received[0].first.score, 7u);
+      EXPECT_EQ(n.probes[i]->received[0].first.source, 2);
+    }
+  }
+}
+
+TEST(Coordination, DeliveryHonoursLatency) {
+  Net n(2, 4);
+  n.mcs[0]->announce_selection(WarpTag{0, 0, 1}, 3);
+  n.net->tick(0);  // message picked up at cycle 0
+  n.net->tick(3);
+  EXPECT_TRUE(n.probes[1]->received.empty());
+  n.net->tick(4);
+  ASSERT_EQ(n.probes[1]->received.size(), 1u);
+  EXPECT_EQ(n.probes[1]->received[0].second, 4u);
+}
+
+TEST(Coordination, OutboxDrainedOnTick) {
+  Net n(2, 1);
+  n.mcs[0]->announce_selection(WarpTag{0, 0, 1}, 3);
+  EXPECT_EQ(n.mcs[0]->outbox().size(), 1u);
+  n.net->tick(0);
+  EXPECT_TRUE(n.mcs[0]->outbox().empty());
+  EXPECT_EQ(n.net->messages_sent(), 1u);
+}
+
+TEST(Coordination, MultipleMessagesKeepOrder) {
+  Net n(2, 2);
+  n.mcs[0]->announce_selection(WarpTag{0, 0, 1}, 1);
+  n.net->tick(0);
+  n.mcs[0]->announce_selection(WarpTag{0, 0, 2}, 2);
+  n.net->tick(1);
+  for (Cycle c = 2; c < 6; ++c) n.net->tick(c);
+  ASSERT_EQ(n.probes[1]->received.size(), 2u);
+  EXPECT_EQ(n.probes[1]->received[0].first.tag.instr, 1u);
+  EXPECT_EQ(n.probes[1]->received[1].first.tag.instr, 2u);
+}
+
+TEST(Coordination, NoTrafficNoMessages) {
+  Net n(3, 2);
+  for (Cycle c = 0; c < 100; ++c) n.net->tick(c);
+  EXPECT_EQ(n.net->messages_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -1,0 +1,219 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "gpu/coalescer.hpp"
+
+namespace latdiv {
+namespace {
+
+WorkloadProfile test_profile() {
+  WorkloadProfile p;
+  p.name = "test";
+  p.divergent_load_frac = 0.5;
+  p.divergent_lines_mean = 8.0;
+  p.cluster_len_mean = 2.0;
+  p.store_frac = 0.2;
+  p.mem_instr_frac = 0.5;
+  p.footprint_bytes = 64ULL << 20;
+  p.hot_frac = 0.1;
+  p.hot_bytes = 1ULL << 20;
+  return p;
+}
+
+TEST(Generator, DeterministicAcrossInstances) {
+  WorkloadGenerator a(test_profile(), 2, 4, 99);
+  WorkloadGenerator b(test_profile(), 2, 4, 99);
+  for (int i = 0; i < 2000; ++i) {
+    const WarpInstr x = a.next(1, 2);
+    const WarpInstr y = b.next(1, 2);
+    ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    ASSERT_EQ(x.latency, y.latency);
+    ASSERT_EQ(x.lane_addr, y.lane_addr);
+  }
+}
+
+TEST(Generator, SeedChangesStream) {
+  WorkloadGenerator a(test_profile(), 1, 1, 1);
+  WorkloadGenerator b(test_profile(), 1, 1, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next(0, 0).lane_addr == b.next(0, 0).lane_addr;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(Generator, WarpsAreIndependentStreams) {
+  WorkloadGenerator g(test_profile(), 1, 2, 5);
+  // Interleaving warp 0 and warp 1 must not change warp 0's stream.
+  WorkloadGenerator ref(test_profile(), 1, 2, 5);
+  for (int i = 0; i < 500; ++i) {
+    const WarpInstr a = g.next(0, 0);
+    (void)g.next(0, 1);
+    const WarpInstr b = ref.next(0, 0);
+    ASSERT_EQ(a.lane_addr, b.lane_addr);
+  }
+}
+
+TEST(Generator, MemoryFractionApproximatesConfig) {
+  WorkloadGenerator g(test_profile(), 1, 1, 7);
+  int mem = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    mem += g.next(0, 0).kind != WarpInstr::Kind::kCompute;
+  }
+  EXPECT_NEAR(mem / static_cast<double>(kDraws), 0.5, 0.02);
+}
+
+TEST(Generator, StoreFractionApproximatesConfig) {
+  WorkloadGenerator g(test_profile(), 1, 1, 7);
+  int stores = 0;
+  int mem = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const WarpInstr instr = g.next(0, 0);
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    ++mem;
+    stores += instr.kind == WarpInstr::Kind::kStore;
+  }
+  EXPECT_NEAR(stores / static_cast<double>(mem), 0.2, 0.02);
+}
+
+TEST(Generator, DivergenceStatisticsMatchProfile) {
+  WorkloadGenerator g(test_profile(), 1, 1, 11);
+  Coalescer coal;
+  std::vector<Addr> lines;
+  int loads = 0;
+  int divergent = 0;
+  double total_lines = 0;
+  for (int i = 0; i < 60000 && loads < 5000; ++i) {
+    const WarpInstr instr = g.next(0, 0);
+    if (instr.kind != WarpInstr::Kind::kLoad) continue;
+    coal.coalesce(instr, lines);
+    ++loads;
+    divergent += lines.size() > 1;
+    total_lines += static_cast<double>(lines.size());
+  }
+  ASSERT_GE(loads, 5000);
+  EXPECT_NEAR(divergent / static_cast<double>(loads), 0.5, 0.03);
+  // Mean lines/load = 1*(1-p) + p*E[k]; E[k] ~ 8 (truncated) => ~4.5.
+  EXPECT_NEAR(total_lines / loads, 0.5 + 0.5 * 8.0, 0.6);
+}
+
+TEST(Generator, AddressesStayInFootprint) {
+  WorkloadGenerator g(test_profile(), 2, 2, 13);
+  const Addr limit = test_profile().footprint_bytes + 8 * 128;  // cluster tail
+  for (int i = 0; i < 20000; ++i) {
+    const WarpInstr instr = g.next(1, 1);
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    for (std::uint32_t lane = 0; lane < instr.active_lanes; ++lane) {
+      EXPECT_LT(instr.lane_addr[lane], limit);
+    }
+  }
+}
+
+TEST(Generator, MultiLineClustersAreGranuleAligned) {
+  // Divergent loads must produce adjacent-line pairs inside one 256B
+  // granule so intra-warp row locality exists (see generator comment).
+  WorkloadProfile p = test_profile();
+  p.divergent_load_frac = 1.0;
+  p.cluster_len_mean = 4.0;
+  WorkloadGenerator g(p, 1, 1, 17);
+  Coalescer coal;
+  std::vector<Addr> lines;
+  int pairs = 0;
+  int loads = 0;
+  for (int i = 0; i < 2000 && loads < 300; ++i) {
+    const WarpInstr instr = g.next(0, 0);
+    if (instr.kind != WarpInstr::Kind::kLoad) continue;
+    ++loads;
+    coal.coalesce(instr, lines);
+    std::set<Addr> granules;
+    for (Addr line : lines) {
+      if (granules.contains(line & ~Addr{255})) {
+        ++pairs;
+        break;
+      }
+      granules.insert(line & ~Addr{255});
+    }
+  }
+  // With mean cluster length 4, most loads contain at least one
+  // same-granule pair.
+  EXPECT_GT(pairs, loads / 2);
+}
+
+TEST(Generator, CoalescedLoadsSpanOneLine) {
+  WorkloadProfile p = test_profile();
+  p.divergent_load_frac = 0.0;
+  WorkloadGenerator g(p, 1, 1, 19);
+  Coalescer coal;
+  std::vector<Addr> lines;
+  for (int i = 0; i < 2000; ++i) {
+    const WarpInstr instr = g.next(0, 0);
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    coal.coalesce(instr, lines);
+    EXPECT_EQ(lines.size(), 1u);
+  }
+}
+
+TEST(Generator, StreamingWarpsAdvanceSequentially) {
+  WorkloadProfile p = test_profile();
+  p.divergent_load_frac = 0.0;
+  p.streaming_frac = 1.0;
+  p.hot_frac = 0.0;
+  WorkloadGenerator g(p, 1, 1, 23);
+  Addr prev = 0;
+  bool first = true;
+  for (int i = 0; i < 3000; ++i) {
+    const WarpInstr instr = g.next(0, 0);
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    const Addr line = instr.lane_addr[0] & ~Addr{127};
+    if (!first && line != 0) EXPECT_EQ(line, prev + 128);
+    prev = line;
+    first = false;
+  }
+}
+
+TEST(Generator, SuitesHaveExpectedMembers) {
+  EXPECT_EQ(irregular_suite().size(), 11u);
+  EXPECT_EQ(regular_suite().size(), 6u);
+  EXPECT_EQ(profile_by_name("bfs").name, "bfs");
+  EXPECT_EQ(profile_by_name("streamcluster").name, "streamcluster");
+}
+
+TEST(Generator, IrregularSuiteMatchesPaperAggregates) {
+  // Fig. 2: ~56% of loads divergent, ~5.9 requests per load on average
+  // across the irregular suite (bounds here are deliberately loose; the
+  // bench reproduces the exact numbers).
+  double div_sum = 0;
+  double req_sum = 0;
+  for (const WorkloadProfile& p : irregular_suite()) {
+    WorkloadGenerator g(p, 1, 4, 3);
+    Coalescer coal;
+    std::vector<Addr> lines;
+    int loads = 0;
+    int divergent = 0;
+    double total = 0;
+    for (int i = 0; i < 40000 && loads < 2500; ++i) {
+      const WarpInstr instr = g.next(0, i % 4);
+      if (instr.kind != WarpInstr::Kind::kLoad) continue;
+      coal.coalesce(instr, lines);
+      ++loads;
+      divergent += lines.size() > 1;
+      total += static_cast<double>(lines.size());
+    }
+    div_sum += divergent / static_cast<double>(loads);
+    req_sum += total / loads;
+  }
+  EXPECT_NEAR(div_sum / 11.0, 0.56, 0.08);
+  EXPECT_NEAR(req_sum / 11.0, 5.9, 1.2);
+}
+
+TEST(GeneratorDeath, UnknownProfileAborts) {
+  EXPECT_DEATH((void)profile_by_name("nope"), "unknown");
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -1,0 +1,73 @@
+#include "core/merb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/params.hpp"
+
+namespace latdiv {
+namespace {
+
+TEST(Merb, ReproducesPaperTableI) {
+  // Table I (GDDR5): banks 1..5 => {31, 20, 10, 7, 5}; 6..16 => 5.
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  EXPECT_EQ(merb.value(1), 31u);
+  EXPECT_EQ(merb.value(2), 20u);
+  EXPECT_EQ(merb.value(3), 10u);
+  EXPECT_EQ(merb.value(4), 7u);
+  EXPECT_EQ(merb.value(5), 5u);
+  for (std::uint32_t b = 6; b <= 16; ++b) {
+    EXPECT_EQ(merb.value(b), 5u) << "banks=" << b;
+  }
+}
+
+TEST(Merb, ZeroPendingTreatedAsSingleBank) {
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  EXPECT_EQ(merb.value(0), MerbTable::kSingleBankMerb);
+}
+
+TEST(Merb, ClampsBeyondBankCount) {
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  EXPECT_EQ(merb.value(100), merb.value(16));
+}
+
+TEST(Merb, MonotonicNonIncreasing) {
+  // More banks with pending work -> more overlap available -> the
+  // threshold can only shrink (or stay at the activate-rate floor).
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  for (std::uint32_t b = 2; b <= 16; ++b) {
+    EXPECT_LE(merb.value(b), merb.value(b - 1));
+  }
+}
+
+TEST(Merb, ActivateRateFloorBinds) {
+  // With many banks, the per-bank share of the miss overhead is tiny but
+  // tRRD/tFAW still limit how fast rows can rotate: the floor
+  // max(tRRD, tFAW/4)/tBURST = max(9, 8.75)/2 = 4.5 -> 5 must hold.
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  EXPECT_EQ(merb.value(16), 5u);
+}
+
+TEST(Merb, SlowPartGrowsThresholds) {
+  // Double the precharge/activate overheads: every multi-bank threshold
+  // should grow accordingly.
+  DramParams slow;
+  slow.trp_ns *= 2.0;
+  slow.trcd_ns *= 2.0;
+  const MerbTable fast(DramTiming::from(DramParams{}));
+  const MerbTable merb(DramTiming::from(slow));
+  EXPECT_GT(merb.value(2), fast.value(2));
+}
+
+TEST(Merb, TableSpansAllBanks) {
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  EXPECT_EQ(merb.table().size(), 16u);
+}
+
+TEST(Merb, FiveBitCounterCeiling) {
+  // No threshold may exceed the 5-bit hardware counter.
+  const MerbTable merb(DramTiming::from(DramParams{}));
+  for (std::uint32_t v : merb.table()) EXPECT_LE(v, 31u);
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -1,0 +1,90 @@
+#include "cache/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latdiv {
+namespace {
+
+MemRequest req_for(Addr line, WarpInstrUid uid = 1) {
+  MemRequest r;
+  r.addr = line;
+  r.tag.instr = uid;
+  return r;
+}
+
+TEST(Mshr, FirstAddAllocates) {
+  MshrFile m(MshrConfig{4, 2});
+  EXPECT_FALSE(m.tracking(0x100));
+  EXPECT_TRUE(m.add(0x100, req_for(0x100)));
+  EXPECT_TRUE(m.tracking(0x100));
+  EXPECT_EQ(m.outstanding(), 1u);
+  EXPECT_EQ(m.stats().allocations, 1u);
+}
+
+TEST(Mshr, SecondAddMerges) {
+  MshrFile m(MshrConfig{4, 2});
+  m.add(0x100, req_for(0x100, 1));
+  EXPECT_FALSE(m.add(0x100, req_for(0x100, 2)));
+  EXPECT_EQ(m.outstanding(), 1u);
+  EXPECT_EQ(m.stats().merges, 1u);
+}
+
+TEST(Mshr, MergeLimitEnforced) {
+  MshrFile m(MshrConfig{4, 2});
+  m.add(0x100, req_for(0x100, 1));
+  m.add(0x100, req_for(0x100, 2));
+  EXPECT_FALSE(m.can_accept(0x100));
+  EXPECT_TRUE(m.can_accept(0x200));  // fresh entries still available
+}
+
+TEST(Mshr, EntryLimitEnforced) {
+  MshrFile m(MshrConfig{2, 8});
+  m.add(0x100, req_for(0x100));
+  m.add(0x200, req_for(0x200));
+  EXPECT_FALSE(m.can_accept(0x300));
+  EXPECT_TRUE(m.can_accept(0x100));  // merging is still fine
+  EXPECT_EQ(m.free_entries(), 0u);
+}
+
+TEST(Mshr, ReleaseReturnsAllWaitersInOrder) {
+  MshrFile m(MshrConfig{4, 4});
+  m.add(0x100, req_for(0x100, 11));
+  m.add(0x100, req_for(0x100, 22));
+  m.add(0x100, req_for(0x100, 33));
+  const auto waiters = m.release(0x100);
+  ASSERT_EQ(waiters.size(), 3u);
+  EXPECT_EQ(waiters[0].tag.instr, 11u);
+  EXPECT_EQ(waiters[1].tag.instr, 22u);
+  EXPECT_EQ(waiters[2].tag.instr, 33u);
+  EXPECT_FALSE(m.tracking(0x100));
+  EXPECT_EQ(m.outstanding(), 0u);
+}
+
+TEST(Mshr, ReleaseFreesCapacity) {
+  MshrFile m(MshrConfig{1, 1});
+  m.add(0x100, req_for(0x100));
+  EXPECT_FALSE(m.can_accept(0x200));
+  (void)m.release(0x100);
+  EXPECT_TRUE(m.can_accept(0x200));
+}
+
+TEST(Mshr, StallCounter) {
+  MshrFile m(MshrConfig{1, 1});
+  m.count_stall();
+  m.count_stall();
+  EXPECT_EQ(m.stats().stalls_full, 2u);
+}
+
+TEST(MshrDeath, AddBeyondCapacityAborts) {
+  MshrFile m(MshrConfig{1, 1});
+  m.add(0x100, req_for(0x100));
+  EXPECT_DEATH(m.add(0x200, req_for(0x200)), "overflow");
+}
+
+TEST(MshrDeath, ReleaseUntrackedAborts) {
+  MshrFile m(MshrConfig{1, 1});
+  EXPECT_DEATH((void)m.release(0x500), "untracked");
+}
+
+}  // namespace
+}  // namespace latdiv

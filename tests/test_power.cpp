@@ -1,0 +1,101 @@
+#include "dram/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latdiv {
+namespace {
+
+ChannelStats busy_stats(std::uint64_t acts, std::uint64_t reads,
+                        std::uint64_t writes, Cycle elapsed) {
+  ChannelStats s;
+  s.activates = acts;
+  s.reads = reads;
+  s.writes = writes;
+  s.data_bus_busy_cycles = (reads + writes) * 2;
+  s.all_banks_idle_cycles = elapsed / 2;
+  return s;
+}
+
+TEST(PowerModel, IdleChannelDrawsOnlyBackground) {
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  ChannelStats s;
+  s.all_banks_idle_cycles = 100000;
+  const PowerBreakdown p = pm.compute(s, 100000);
+  EXPECT_GT(p.background, 0.0);
+  EXPECT_DOUBLE_EQ(p.activate, 0.0);
+  EXPECT_DOUBLE_EQ(p.read, 0.0);
+  EXPECT_DOUBLE_EQ(p.io, 0.0);
+  EXPECT_NEAR(p.total(), p.background, 1e-12);
+}
+
+TEST(PowerModel, MoreActivatesMorePower) {
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  const Cycle elapsed = 1'000'000;
+  const PowerBreakdown lo = pm.compute(busy_stats(1000, 10000, 0, elapsed),
+                                       elapsed);
+  const PowerBreakdown hi = pm.compute(busy_stats(5000, 10000, 0, elapsed),
+                                       elapsed);
+  EXPECT_GT(hi.activate, lo.activate);
+  EXPECT_GT(hi.total(), lo.total());
+}
+
+TEST(PowerModel, IoDominatesAtHighBandwidth) {
+  // The paper's §VI-B argument: GDDR5 power is I/O-heavy, so a 16% drop
+  // in row-hit rate (more activates) costs only ~2% of device power.
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  const Cycle elapsed = 1'000'000;
+  // ~66% bus utilisation with moderate locality.
+  const PowerBreakdown p =
+      pm.compute(busy_stats(80'000, 300'000, 30'000, elapsed), elapsed);
+  EXPECT_GT(p.io, p.activate);
+  EXPECT_GT(p.io, 0.3 * p.total());
+}
+
+TEST(PowerModel, RowHitRateDropCostsFewPercent) {
+  // Same column traffic, 16% fewer row hits => proportionally more
+  // activates; total power should rise by low single digits.
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  const Cycle elapsed = 1'000'000;
+  const std::uint64_t cas = 330'000;
+  const std::uint64_t acts_base = 120'000;   // hit rate ~0.64
+  const std::uint64_t acts_wgw = 155'000;    // hit rate ~0.53 (16% lower)
+  const double base =
+      pm.compute(busy_stats(acts_base, 300'000, 30'000, elapsed), elapsed)
+          .total();
+  const double wgw =
+      pm.compute(busy_stats(acts_wgw, 300'000, 30'000, elapsed), elapsed)
+          .total();
+  const double increase = wgw / base - 1.0;
+  EXPECT_GT(increase, 0.0);
+  EXPECT_LT(increase, 0.06);
+  (void)cas;
+}
+
+TEST(PowerModel, RefreshContributes) {
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  ChannelStats s;
+  s.refreshes = 500;
+  s.all_banks_idle_cycles = 1'000'000;
+  const PowerBreakdown p = pm.compute(s, 1'000'000);
+  EXPECT_GT(p.refresh, 0.0);
+}
+
+TEST(PowerModel, ScalesWithDeviceCount) {
+  Gddr5PowerParams one;
+  one.devices_per_channel = 1;
+  Gddr5PowerParams two;
+  two.devices_per_channel = 2;
+  const PowerModel pm1(one, DramParams{});
+  const PowerModel pm2(two, DramParams{});
+  const ChannelStats s = busy_stats(1000, 10000, 1000, 100000);
+  EXPECT_NEAR(pm2.compute(s, 100000).activate,
+              2.0 * pm1.compute(s, 100000).activate, 1e-9);
+}
+
+TEST(PowerModelDeath, ZeroIntervalAborts) {
+  const PowerModel pm(Gddr5PowerParams{}, DramParams{});
+  EXPECT_DEATH(pm.compute(ChannelStats{}, 0), "interval");
+}
+
+}  // namespace
+}  // namespace latdiv

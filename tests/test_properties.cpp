@@ -1,0 +1,194 @@
+// Property-based sweeps: randomised traffic against module invariants.
+// TEST_P over seeds gives independent trials; each trial asserts
+// invariants that must hold for *every* legal input, not one scripted
+// scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/channel.hpp"
+#include "dram/params.hpp"
+#include "mc/controller.hpp"
+#include "mc/policy_frfcfs.hpp"
+#include "mc/policy_gmc.hpp"
+#include "core/policy_wg.hpp"
+#include "mem/address_map.hpp"
+#include "sim/simulator.hpp"
+
+namespace latdiv {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: a random-but-legal command stream never violates channel
+// invariants — the channel's own assertions are armed, and the bus
+// accounting can never exceed elapsed time.
+TEST_P(SeededProperty, ChannelAcceptsAnyLegalCommandStream) {
+  DramParams p;
+  p.refresh_enabled = false;
+  const DramTiming t = DramTiming::from(p);
+  Channel ch(t);
+  Rng rng(GetParam());
+
+  Cycle now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    ++now;
+    // Propose a random command; issue only if legal.
+    DramCommand cmd;
+    const auto pick = rng.below(4);
+    cmd.bank = static_cast<BankId>(rng.below(16));
+    switch (pick) {
+      case 0:
+        cmd.cmd = DramCmd::kActivate;
+        cmd.row = static_cast<RowId>(rng.below(64));
+        break;
+      case 1:
+        cmd.cmd = DramCmd::kPrecharge;
+        break;
+      default:
+        cmd.cmd = rng.chance(0.7) ? DramCmd::kRead : DramCmd::kWrite;
+        cmd.row = ch.open_row(cmd.bank);
+        if (cmd.row == kNoRow) continue;
+        break;
+    }
+    if (ch.can_issue(cmd, now)) ch.issue(cmd, now);
+    ch.on_cycle_end(now);
+  }
+  EXPECT_LE(ch.stats().data_bus_busy_cycles, now);
+  EXPECT_LE(ch.stats().all_banks_idle_cycles, now);
+  // Column accesses require an activate first, so every read/write maps
+  // to some activate: acts >= 1 whenever cas happened.
+  if (ch.stats().reads + ch.stats().writes > 0) {
+    EXPECT_GE(ch.stats().activates, 1u);
+  }
+}
+
+// Property: under any random request mix, a controller never loses or
+// duplicates a request: reads in == read completions, writes in == write
+// issues, across all policies under test.
+template <typename MakePolicy>
+void conservation_trial(std::uint64_t seed, MakePolicy make_policy) {
+  DramParams p;
+  p.refresh_enabled = false;
+  const DramTiming t = DramTiming::from(p);
+
+  std::vector<MemRequest> completed;
+  MemoryController mc(0, McConfig{}, t, make_policy(t),
+                      [&](const MemRequest& req, Cycle) {
+                        completed.push_back(req);
+                      });
+  Rng rng(seed);
+  std::uint64_t reads_in = 0;
+  std::uint64_t writes_in = 0;
+  std::set<WarpInstrUid> groups;
+
+  Cycle now = 0;
+  for (; now < 60000; ++now) {
+    if (rng.chance(0.2)) {
+      MemRequest r;
+      const WarpInstrUid uid = 1 + rng.below(2000);
+      r.kind = rng.chance(0.25) ? ReqKind::kWrite : ReqKind::kRead;
+      r.loc.bank = static_cast<BankId>(rng.below(16));
+      r.loc.bank_group = r.loc.bank / 4;
+      r.loc.row = static_cast<RowId>(rng.below(32));
+      r.loc.col = static_cast<std::uint32_t>(rng.below(16));
+      r.tag.instr = r.kind == ReqKind::kRead ? uid : kNoWarpInstr;
+      if (r.kind == ReqKind::kRead && mc.can_accept_read()) {
+        mc.push(r, now);
+        ++reads_in;
+        // Mark the group complete immediately with some probability, or
+        // after a delay via a second chance below.
+        if (rng.chance(0.8)) {
+          mc.notify_group_complete(r.tag, now);
+          groups.insert(uid);
+        }
+      } else if (r.kind == ReqKind::kWrite && mc.can_accept_write()) {
+        mc.push(r, now);
+        ++writes_in;
+      }
+    }
+    mc.tick(now);
+  }
+  // Drain: stop injecting, complete all groups, run long enough.
+  for (Cycle end = now + 200000; now < end; ++now) {
+    mc.tick(now);
+    if (completed.size() == reads_in &&
+        mc.stats().writes_served == writes_in) {
+      break;
+    }
+  }
+  EXPECT_EQ(completed.size(), reads_in);
+  EXPECT_EQ(mc.stats().writes_served, writes_in);
+}
+
+TEST_P(SeededProperty, FrFcfsConservesRequests) {
+  conservation_trial(GetParam(), [](const DramTiming&) {
+    return std::make_unique<FrFcfsPolicy>();
+  });
+}
+
+TEST_P(SeededProperty, GmcConservesRequests) {
+  conservation_trial(GetParam(), [](const DramTiming&) {
+    return std::make_unique<GmcPolicy>();
+  });
+}
+
+TEST_P(SeededProperty, WgConservesRequests) {
+  conservation_trial(GetParam(), [](const DramTiming& t) {
+    WgConfig cfg;
+    cfg.fallback_age = 2000;  // un-completed groups must still drain
+    return std::make_unique<WgPolicy>(cfg, t);
+  });
+}
+
+TEST_P(SeededProperty, WgBwConservesRequests) {
+  conservation_trial(GetParam(), [](const DramTiming& t) {
+    WgConfig cfg;
+    cfg.multi_channel = true;
+    cfg.merb = true;
+    cfg.write_aware = true;
+    cfg.fallback_age = 2000;
+    return std::make_unique<WgPolicy>(cfg, t);
+  });
+}
+
+// Property: the address map is a function (stable) and always in range,
+// and flipping any single address bit keeps the decode in range.
+TEST_P(SeededProperty, AddressMapTotalAndStable) {
+  const AddressMap m{AddressMapConfig{}};
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const Addr a = rng.next() & ((1ULL << 44) - 1);
+    const DramLoc base = m.decode(a);
+    EXPECT_EQ(base, m.decode(a));
+    for (int bit = 0; bit < 44; bit += 7) {
+      const DramLoc flipped = m.decode(a ^ (1ULL << bit));
+      EXPECT_LT(flipped.channel, 6);
+      EXPECT_LT(flipped.bank, 16);
+    }
+  }
+}
+
+// Property: end-to-end, the warp-aware family never deadlocks and always
+// retires instructions on any workload/seed combination.
+TEST_P(SeededProperty, EndToEndLivenessWgW) {
+  SimConfig cfg;
+  cfg.shrink_for_tests();
+  cfg.max_cycles = 12000;
+  cfg.scheduler = SchedulerKind::kWgW;
+  const auto suite = irregular_suite();
+  cfg.workload = suite[GetParam() % suite.size()];
+  cfg.seed = GetParam();
+  const RunResult r = Simulator(cfg).run();
+  EXPECT_GT(r.instructions, 50u) << cfg.workload.name;
+  EXPECT_GT(r.tracker.loads_finalized, 0u);
+}
+
+}  // namespace
+}  // namespace latdiv

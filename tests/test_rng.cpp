@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace latdiv {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 6ULL, 97ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(17);
+  std::array<int, 6> bins{};
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++bins[rng.below(6)];
+  for (int count : bins) {
+    EXPECT_NEAR(count, kDraws / 6, kDraws / 6 / 10);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.chance(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanApproximatesTarget) {
+  Rng rng(23);
+  for (double mean : {1.5, 3.0, 8.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.geometric(mean, 1000));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, mean * 0.05);
+  }
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(rng.geometric(100.0, 7), 7u);
+    EXPECT_GE(rng.geometric(2.0, 7), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -1,0 +1,381 @@
+// Tests for the paper's warp-group scheduler family (WG / WG-M / WG-Bw /
+// WG-W): completeness gating, BASJF scoring, coordination, MERB admission
+// and write-drain awareness.
+#include "core/policy_wg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dram/params.hpp"
+#include "mc/controller.hpp"
+
+namespace latdiv {
+namespace {
+
+DramTiming timing_no_refresh() {
+  DramParams p;
+  p.refresh_enabled = false;
+  return DramTiming::from(p);
+}
+
+MemRequest read_to(BankId bank, RowId row, std::uint32_t col,
+                   WarpInstrUid uid) {
+  MemRequest r;
+  r.kind = ReqKind::kRead;
+  r.addr = (static_cast<Addr>(row) << 15) | (static_cast<Addr>(col) << 7) |
+           (static_cast<Addr>(bank) << 28);
+  r.loc.bank = bank;
+  r.loc.bank_group = bank / 4;
+  r.loc.row = row;
+  r.loc.col = col;
+  r.tag.instr = uid;
+  r.tag.warp = static_cast<WarpId>(uid % 48);
+  return r;
+}
+
+struct Harness {
+  explicit Harness(WgConfig cfg = {}, DramTiming t = timing_no_refresh(),
+                   McConfig mc_cfg = {})
+      : mc(0, mc_cfg, t, make_policy(cfg, t),
+           [this](const MemRequest& req, Cycle) { order.push_back(req); }) {}
+
+  std::unique_ptr<WgPolicy> make_policy(const WgConfig& cfg,
+                                        const DramTiming& t) {
+    auto p = std::make_unique<WgPolicy>(cfg, t);
+    wg = p.get();
+    return p;
+  }
+
+  void push_group(WarpInstrUid uid, std::vector<MemRequest> reqs,
+                  bool complete = true) {
+    for (const MemRequest& r : reqs) mc.push(r, now);
+    if (complete) mc.notify_group_complete(reqs.front().tag, now);
+  }
+
+  void run_to(Cycle end) {
+    for (; now < end; ++now) mc.tick(now);
+  }
+
+  std::vector<WarpInstrUid> service_order() const {
+    std::vector<WarpInstrUid> uids;
+    for (const MemRequest& r : order) uids.push_back(r.tag.instr);
+    return uids;
+  }
+
+  Cycle now = 0;
+  std::vector<MemRequest> order;
+  WgPolicy* wg = nullptr;
+  MemoryController mc;
+};
+
+TEST(Wg, IncompleteGroupIsNotScheduled) {
+  Harness h;
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 1, 1, 1)},
+               /*complete=*/false);
+  h.run_to(200);
+  EXPECT_TRUE(h.order.empty());
+  EXPECT_EQ(h.mc.commands_pending(), 0u);
+}
+
+TEST(Wg, CompletionSignalReleasesGroup) {
+  Harness h;
+  h.push_group(1, {read_to(0, 1, 0, 1)}, /*complete=*/false);
+  h.run_to(50);
+  EXPECT_TRUE(h.order.empty());
+  h.mc.notify_group_complete(WarpTag{0, 1, 1}, h.now);
+  h.run_to(300);
+  EXPECT_EQ(h.order.size(), 1u);
+  EXPECT_EQ(h.wg->wg_stats().groups_completed, 1u);
+}
+
+TEST(Wg, ShortestJobFirst) {
+  Harness h;
+  // Group 1: three row-misses to one bank (score 9).  Group 2: one miss
+  // (score 3).  Both fully formed at cycle 0: group 2 must be served
+  // first even though group 1 arrived first.
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 5, 0, 1),
+                   read_to(0, 9, 0, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2)});
+  h.run_to(1000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 4u);
+  EXPECT_EQ(uids[0], 2u);
+}
+
+TEST(Wg, BankParallelGroupBeatsSerialGroup) {
+  Harness h;
+  // Two requests to different banks (max per-bank score 3) beat two
+  // same-bank different-row requests (score 6) — the paper's point that
+  // request count alone is not the job length.
+  h.push_group(1, {read_to(2, 1, 0, 1), read_to(2, 7, 0, 1)});
+  h.push_group(2, {read_to(3, 1, 0, 2), read_to(4, 1, 0, 2)});
+  h.run_to(1000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 4u);
+  EXPECT_EQ(uids.back(), 1u)
+      << "serial same-bank group finishes last despite equal size";
+}
+
+TEST(Wg, GroupServicedAsAUnitWithinBank) {
+  Harness h;
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 1, 1, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2), read_to(0, 2, 1, 2)});
+  h.run_to(2000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 4u);
+  // No interleaving: xxyy, never xyxy.
+  EXPECT_EQ(uids[0], uids[1]);
+  EXPECT_EQ(uids[2], uids[3]);
+}
+
+TEST(Wg, QueueBacklogRaisesScore) {
+  Harness h;
+  // Saturate bank 0 with a large complete group first.
+  std::vector<MemRequest> big;
+  for (int i = 0; i < 6; ++i) big.push_back(read_to(0, 10 + i, 0, 9));
+  h.push_group(9, big);
+  h.run_to(10);  // group 9 now occupies bank 0's command queue
+  // Group 1 targets the congested bank, group 2 an idle one; same shape.
+  h.push_group(1, {read_to(0, 1, 0, 1)});
+  h.push_group(2, {read_to(1, 1, 0, 2)});
+  h.run_to(3000);
+  const auto uids = h.service_order();
+  // Group 2's single request must finish before group 1's, which sits
+  // behind the backlog.
+  auto pos = [&](WarpInstrUid u) {
+    for (std::size_t i = 0; i < uids.size(); ++i) {
+      if (uids[i] == u) return i;
+    }
+    return uids.size();
+  };
+  EXPECT_LT(pos(2), pos(1));
+}
+
+TEST(Wg, TieBreakPrefersRowHits) {
+  Harness h;
+  // Establish row 5 in bank 0 and row 6 in bank 1 via a first group.
+  h.push_group(9, {read_to(0, 5, 0, 9), read_to(1, 6, 0, 9)});
+  h.run_to(60);
+  // Group 1: one hit on bank 0 (score 1).  Group 2: one hit on bank 1
+  // (score 1).  Scores tie; group 2 has the same hits; fall back to
+  // arrival order — but make group 2 a MISS instead to check hits win.
+  h.push_group(1, {read_to(0, 5, 1, 1)});   // hit, score 1
+  h.push_group(2, {read_to(1, 7, 0, 2)});   // miss, score 3
+  h.run_to(2000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 4u);
+  EXPECT_EQ(uids[2], 1u) << "hit-rich group goes first";
+}
+
+TEST(WgM, RemoteLaggardBoostApplied) {
+  WgConfig cfg;
+  cfg.multi_channel = true;
+  Harness h(cfg);
+  // Group 1: expensive here (two misses same bank, score 6).
+  // Group 2: cheap (score 3).  Plain WG serves 2 first.
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 5, 0, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2)});
+  // A remote controller reports it finishes warp 1 at score 0: we are the
+  // laggard by 6, so group 1's local score collapses below group 2's.
+  h.mc.deliver_coordination(CoordMsg{1, WarpTag{0, 1, 1}, 0}, 0);
+  h.run_to(1000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 3u);
+  EXPECT_EQ(uids[0], 1u);
+  EXPECT_EQ(uids[1], 1u);
+  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 1u);
+}
+
+TEST(WgM, RemoteAheadOfUsIsIgnored) {
+  WgConfig cfg;
+  cfg.multi_channel = true;
+  Harness h(cfg);
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 5, 0, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2)});
+  // Remote score larger than our local score: no action (RC > LC).
+  h.mc.deliver_coordination(CoordMsg{1, WarpTag{0, 1, 1}, 1000}, 0);
+  h.run_to(1000);
+  EXPECT_EQ(h.service_order()[0], 2u);
+  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 0u);
+}
+
+TEST(WgM, MessageBeforeArrivalIsReplayed) {
+  WgConfig cfg;
+  cfg.multi_channel = true;
+  Harness h(cfg);
+  // The remote selection lands BEFORE any of warp 1's requests arrive
+  // here (crossbar slower than the coordination network): the message is
+  // cached and replayed when the group forms, flipping the selection.
+  h.mc.deliver_coordination(CoordMsg{1, WarpTag{0, 1, 1}, 0}, 0);
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 5, 0, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2)});
+  h.run_to(1000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 3u);
+  EXPECT_EQ(uids[0], 1u);
+  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 1u);
+}
+
+TEST(WgM, StaleMessagesExpire) {
+  WgConfig cfg;
+  cfg.multi_channel = true;
+  cfg.coord_msg_ttl = 10;
+  Harness h(cfg);
+  h.mc.deliver_coordination(CoordMsg{1, WarpTag{0, 1, 1}, 0}, 0);
+  h.run_to(50);  // well past the TTL
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(0, 5, 0, 1)});
+  h.push_group(2, {read_to(0, 2, 0, 2)});
+  h.run_to(1000);
+  EXPECT_EQ(h.service_order()[0], 2u) << "expired message must not boost";
+  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 0u);
+}
+
+TEST(WgM, SelectionsAreAnnounced) {
+  WgConfig cfg;
+  cfg.multi_channel = true;
+  Harness h(cfg);
+  h.push_group(1, {read_to(0, 1, 0, 1)});
+  h.run_to(5);
+  EXPECT_FALSE(h.mc.outbox().empty());
+  EXPECT_EQ(h.mc.outbox()[0].tag.instr, 1u);
+}
+
+TEST(WgBw, MerbDefersRowMissBehindFillers) {
+  WgConfig cfg;
+  cfg.merb = true;
+  Harness h(cfg);
+  // Establish row 5 as bank 0's stream with a complete group and let it
+  // drain fully so the row predictor points at row 5.
+  h.push_group(9, {read_to(0, 5, 0, 9), read_to(0, 5, 1, 9)});
+  h.run_to(80);
+  // Row-hit fillers from an incomplete group (it cannot win selection).
+  h.push_group(7,
+               {read_to(0, 5, 2, 7), read_to(0, 5, 3, 7), read_to(0, 5, 4, 7)},
+               /*complete=*/false);
+  // The selected group's row miss on the same bank.
+  h.push_group(1, {read_to(0, 9, 0, 1)});
+  h.run_to(3000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 6u);
+  // All of group 7's row hits must be serviced before group 1's miss
+  // (single-bank MERB threshold is 31, far above the 5 available hits).
+  EXPECT_EQ(uids.back(), 1u);
+  EXPECT_GE(h.wg->wg_stats().merb_deferrals, 3u);
+}
+
+TEST(WgPlain, NoMerbMeansMissGoesStraightIn) {
+  Harness h;  // merb off
+  h.push_group(9, {read_to(0, 5, 0, 9), read_to(0, 5, 1, 9)});
+  h.run_to(80);
+  h.push_group(7, {read_to(0, 5, 2, 7), read_to(0, 5, 3, 7)},
+               /*complete=*/false);
+  h.push_group(1, {read_to(0, 9, 0, 1)});
+  h.run_to(3000);
+  const auto uids = h.service_order();
+  ASSERT_EQ(uids.size(), 3u);  // group 7 stays incomplete and unserved
+  EXPECT_EQ(uids.back(), 1u);
+  EXPECT_EQ(h.wg->wg_stats().merb_deferrals, 0u);
+}
+
+TEST(WgW, UnitGroupJumpsQueueUnderWritePressure) {
+  WgConfig cfg;
+  cfg.write_aware = true;
+  McConfig mc_cfg;  // high watermark 32, guard 8 -> trigger at 24
+  Harness h(cfg, timing_no_refresh(), mc_cfg);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    MemRequest w = read_to(i % 16, 3, 0, kNoWarpInstr);
+    w.kind = ReqKind::kWrite;
+    h.mc.push(w, 0);
+  }
+  // Group 1: two requests, cheap.  Group 2: one request on a congested
+  // bank (expensive by score).  WG-W must still pick the unit group 2.
+  std::vector<MemRequest> backlog;
+  for (int i = 0; i < 6; ++i) backlog.push_back(read_to(2, 20 + i, 0, 9));
+  h.push_group(9, backlog);
+  h.run_to(10);
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(1, 1, 0, 1)});
+  h.push_group(2, {read_to(2, 1, 0, 2)});
+  h.run_to(20);
+  EXPECT_GE(h.wg->wg_stats().writeaware_selections, 1u);
+}
+
+TEST(Wg, FallbackRescuesIncompleteGroupsUnderPressure) {
+  WgConfig cfg;
+  cfg.fallback_age = 500;
+  Harness h(cfg);
+  // 64 requests from 32 incomplete groups fill the read queue exactly.
+  for (WarpInstrUid uid = 1; uid <= 32; ++uid) {
+    h.push_group(uid,
+                 {read_to(uid % 16, 1, 0, uid), read_to(uid % 16, 2, 0, uid)},
+                 /*complete=*/false);
+  }
+  EXPECT_FALSE(h.mc.can_accept_read());
+  h.run_to(5000);
+  EXPECT_GT(h.order.size(), 0u) << "liveness: queue must drain";
+  EXPECT_GT(h.wg->wg_stats().fallback_selections, 0u);
+}
+
+TEST(Wg, AgedIncompleteGroupDrainsEventually) {
+  WgConfig cfg;
+  cfg.fallback_age = 200;
+  Harness h(cfg);
+  h.push_group(1, {read_to(0, 1, 0, 1)}, /*complete=*/false);
+  h.run_to(150);
+  EXPECT_TRUE(h.order.empty());
+  h.run_to(1000);
+  EXPECT_EQ(h.order.size(), 1u);
+}
+
+TEST(Wg, LateCompletionServesOrphanRemainder) {
+  WgConfig cfg;
+  cfg.fallback_age = 100;
+  Harness h(cfg);
+  // Incomplete group drains via fallback; its remaining request arrives
+  // later together with the completion signal.
+  h.push_group(1, {read_to(0, 1, 0, 1)}, /*complete=*/false);
+  h.run_to(400);  // fallback served the first request
+  ASSERT_EQ(h.order.size(), 1u);
+  h.mc.push(read_to(0, 1, 1, 1), h.now);
+  h.mc.notify_group_complete(WarpTag{0, 1 % 48, 1}, h.now);
+  h.run_to(1000);
+  EXPECT_EQ(h.order.size(), 2u);
+}
+
+TEST(Wg, GroupSizeStatTracksSeenRequests) {
+  Harness h;
+  h.push_group(1, {read_to(0, 1, 0, 1), read_to(1, 1, 0, 1),
+                   read_to(2, 1, 0, 1)});
+  h.run_to(100);
+  EXPECT_EQ(h.wg->wg_stats().groups_selected, 1u);
+  EXPECT_DOUBLE_EQ(h.wg->wg_stats().group_size.mean(), 3.0);
+}
+
+TEST(Wg, GroupLargerThanBankQueueStillDrains) {
+  // 12 requests to one bank exceed the 8-deep command queue: the group
+  // must still be selected and drain incrementally (no deadlock).
+  Harness h;
+  std::vector<MemRequest> big;
+  for (int i = 0; i < 12; ++i) big.push_back(read_to(0, 1, i % 16, 1));
+  h.push_group(1, big);
+  h.run_to(4000);
+  EXPECT_EQ(h.order.size(), 12u);
+}
+
+TEST(Wg, NamesReflectFeatureFlags) {
+  const DramTiming t = timing_no_refresh();
+  EXPECT_STREQ(WgPolicy(WgConfig{}, t).name(), "WG");
+  WgConfig m;
+  m.multi_channel = true;
+  EXPECT_STREQ(WgPolicy(m, t).name(), "WG-M");
+  WgConfig bw = m;
+  bw.merb = true;
+  EXPECT_STREQ(WgPolicy(bw, t).name(), "WG-Bw");
+  WgConfig w = bw;
+  w.write_aware = true;
+  EXPECT_STREQ(WgPolicy(w, t).name(), "WG-W");
+}
+
+}  // namespace
+}  // namespace latdiv

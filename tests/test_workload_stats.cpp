@@ -1,0 +1,127 @@
+// Statistical validation of every shipped workload profile against its
+// own configuration — the property that makes scheduler comparisons
+// meaningful is that each profile delivers the stream it promises.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gpu/coalescer.hpp"
+#include "mem/address_map.hpp"
+#include "workload/generator.hpp"
+
+namespace latdiv {
+namespace {
+
+struct Measured {
+  double mem_frac = 0;
+  double store_frac = 0;
+  double divergent_frac = 0;
+  double lines_per_load = 0;
+  double mean_channels = 0;
+  int loads = 0;
+};
+
+Measured measure(const WorkloadProfile& p, std::uint64_t seed) {
+  WorkloadGenerator gen(p, 2, 8, seed);
+  const AddressMap amap{AddressMapConfig{}};
+  Coalescer coal;
+  std::vector<Addr> lines;
+  Measured m;
+  int instrs = 0;
+  int mems = 0;
+  int stores = 0;
+  int divergent = 0;
+  double total_lines = 0;
+  double total_channels = 0;
+  for (int i = 0; i < 60000 && m.loads < 4000; ++i) {
+    const SmId sm = static_cast<SmId>(i % 2);
+    const WarpId w = static_cast<WarpId>((i / 2) % 8);
+    const WarpInstr instr = gen.next(sm, w);
+    ++instrs;
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    ++mems;
+    if (instr.kind == WarpInstr::Kind::kStore) {
+      ++stores;
+      continue;
+    }
+    coal.coalesce(instr, lines);
+    ++m.loads;
+    divergent += lines.size() > 1;
+    total_lines += static_cast<double>(lines.size());
+    std::set<ChannelId> chans;
+    for (Addr line : lines) chans.insert(amap.decode(line).channel);
+    total_channels += static_cast<double>(chans.size());
+  }
+  m.mem_frac = static_cast<double>(mems) / instrs;
+  m.store_frac = mems ? static_cast<double>(stores) / mems : 0;
+  m.divergent_frac = static_cast<double>(divergent) / m.loads;
+  m.lines_per_load = total_lines / m.loads;
+  m.mean_channels = total_channels / m.loads;
+  return m;
+}
+
+class IrregularProfile : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Suite, IrregularProfile,
+                         ::testing::Range<std::size_t>(0, 11),
+                         [](const auto& info) {
+                           return irregular_suite()[info.param].name;
+                         });
+
+TEST_P(IrregularProfile, MatchesConfiguredStatistics) {
+  const WorkloadProfile p = irregular_suite()[GetParam()];
+  const Measured m = measure(p, 5);
+  ASSERT_GE(m.loads, 1000);
+  EXPECT_NEAR(m.mem_frac, p.mem_instr_frac, 0.02) << p.name;
+  EXPECT_NEAR(m.store_frac, p.store_frac, 0.04) << p.name;
+  EXPECT_NEAR(m.divergent_frac, p.divergent_load_frac, 0.04) << p.name;
+  // Lines/load = (1-p) + p*E[k_truncated]; bound loosely from the knobs.
+  EXPECT_GT(m.lines_per_load, 1.0) << p.name;
+  EXPECT_LT(m.lines_per_load, p.divergent_lines_mean + 2.0) << p.name;
+}
+
+TEST_P(IrregularProfile, StableAcrossSeeds) {
+  const WorkloadProfile p = irregular_suite()[GetParam()];
+  const Measured a = measure(p, 11);
+  const Measured b = measure(p, 23);
+  EXPECT_NEAR(a.divergent_frac, b.divergent_frac, 0.05) << p.name;
+  EXPECT_NEAR(a.lines_per_load, b.lines_per_load, 0.6) << p.name;
+}
+
+TEST(WorkloadStats, ChannelGroupingMatchesPaperSplit) {
+  // Fig. 3 discussion: cfd/sp/sssp/spmv spread wide; nw stays narrow.
+  const double spmv =
+      measure(profile_by_name("spmv"), 3).mean_channels;
+  const double sssp =
+      measure(profile_by_name("sssp"), 3).mean_channels;
+  const double nw = measure(profile_by_name("nw"), 3).mean_channels;
+  EXPECT_GT(spmv, 2.5);
+  EXPECT_GT(sssp, 2.3);
+  EXPECT_LT(nw, 2.1);
+  EXPECT_GT(spmv, nw + 0.8);
+}
+
+TEST(WorkloadStats, RegularSuiteIsCoalescedAndStreaming) {
+  for (const WorkloadProfile& p : regular_suite()) {
+    const Measured m = measure(p, 7);
+    EXPECT_LT(m.divergent_frac, 0.12) << p.name;
+    EXPECT_LT(m.lines_per_load, 1.5) << p.name;
+  }
+}
+
+TEST(WorkloadStats, SuiteAveragesMatchFig2) {
+  double div = 0;
+  double reqs = 0;
+  for (const WorkloadProfile& p : irregular_suite()) {
+    const Measured m = measure(p, 9);
+    div += m.divergent_frac;
+    reqs += m.lines_per_load;
+  }
+  EXPECT_NEAR(div / 11.0, 0.56, 0.05);   // paper: 56%
+  EXPECT_NEAR(reqs / 11.0, 5.9, 1.0);    // paper: 5.9
+}
+
+}  // namespace
+}  // namespace latdiv
