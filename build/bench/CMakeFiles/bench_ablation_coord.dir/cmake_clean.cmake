@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coord.dir/bench_ablation_coord.cpp.o"
+  "CMakeFiles/bench_ablation_coord.dir/bench_ablation_coord.cpp.o.d"
+  "bench_ablation_coord"
+  "bench_ablation_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

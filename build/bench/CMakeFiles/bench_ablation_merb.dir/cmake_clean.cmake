@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merb.dir/bench_ablation_merb.cpp.o"
+  "CMakeFiles/bench_ablation_merb.dir/bench_ablation_merb.cpp.o.d"
+  "bench_ablation_merb"
+  "bench_ablation_merb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

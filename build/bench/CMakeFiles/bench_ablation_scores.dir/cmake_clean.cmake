@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scores.dir/bench_ablation_scores.cpp.o"
+  "CMakeFiles/bench_ablation_scores.dir/bench_ablation_scores.cpp.o.d"
+  "bench_ablation_scores"
+  "bench_ablation_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_warpsched.dir/bench_ablation_warpsched.cpp.o"
+  "CMakeFiles/bench_ablation_warpsched.dir/bench_ablation_warpsched.cpp.o.d"
+  "bench_ablation_warpsched"
+  "bench_ablation_warpsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warpsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_writedrain.dir/bench_ablation_writedrain.cpp.o"
+  "CMakeFiles/bench_ablation_writedrain.dir/bench_ablation_writedrain.cpp.o.d"
+  "bench_ablation_writedrain"
+  "bench_ablation_writedrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_writedrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_shared.dir/bench_extension_shared.cpp.o"
+  "CMakeFiles/bench_extension_shared.dir/bench_extension_shared.cpp.o.d"
+  "bench_extension_shared"
+  "bench_extension_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_coalescing.dir/bench_fig02_coalescing.cpp.o"
+  "CMakeFiles/bench_fig02_coalescing.dir/bench_fig02_coalescing.cpp.o.d"
+  "bench_fig02_coalescing"
+  "bench_fig02_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_divergence_sched.dir/bench_fig10_divergence_sched.cpp.o"
+  "CMakeFiles/bench_fig10_divergence_sched.dir/bench_fig10_divergence_sched.cpp.o.d"
+  "bench_fig10_divergence_sched"
+  "bench_fig10_divergence_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_divergence_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

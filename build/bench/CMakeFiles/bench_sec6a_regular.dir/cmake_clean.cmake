@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6a_regular.dir/bench_sec6a_regular.cpp.o"
+  "CMakeFiles/bench_sec6a_regular.dir/bench_sec6a_regular.cpp.o.d"
+  "bench_sec6a_regular"
+  "bench_sec6a_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6a_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6b_power.dir/bench_sec6b_power.cpp.o"
+  "CMakeFiles/bench_sec6b_power.dir/bench_sec6b_power.cpp.o.d"
+  "bench_sec6b_power"
+  "bench_sec6b_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6b_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

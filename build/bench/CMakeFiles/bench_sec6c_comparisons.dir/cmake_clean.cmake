@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6c_comparisons.dir/bench_sec6c_comparisons.cpp.o"
+  "CMakeFiles/bench_sec6c_comparisons.dir/bench_sec6c_comparisons.cpp.o.d"
+  "bench_sec6c_comparisons"
+  "bench_sec6c_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6c_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_merb.dir/bench_tab1_merb.cpp.o"
+  "CMakeFiles/bench_tab1_merb.dir/bench_tab1_merb.cpp.o.d"
+  "bench_tab1_merb"
+  "bench_tab1_merb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_merb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/latdiv_bench_harness.dir/harness.cpp.o.d"
+  "liblatdiv_bench_harness.a"
+  "liblatdiv_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

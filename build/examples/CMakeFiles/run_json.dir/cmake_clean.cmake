@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_json.dir/run_json.cpp.o"
+  "CMakeFiles/run_json.dir/run_json.cpp.o.d"
+  "run_json"
+  "run_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_interference.dir/warp_interference.cpp.o"
+  "CMakeFiles/warp_interference.dir/warp_interference.cpp.o.d"
+  "warp_interference"
+  "warp_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

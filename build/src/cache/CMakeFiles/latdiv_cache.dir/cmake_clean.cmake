@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_cache.dir/cache.cpp.o"
+  "CMakeFiles/latdiv_cache.dir/cache.cpp.o.d"
+  "liblatdiv_cache.a"
+  "liblatdiv_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

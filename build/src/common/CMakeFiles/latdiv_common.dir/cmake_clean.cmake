@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_common.dir/stats.cpp.o"
+  "CMakeFiles/latdiv_common.dir/stats.cpp.o.d"
+  "liblatdiv_common.a"
+  "liblatdiv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordination.cpp" "src/core/CMakeFiles/latdiv_core.dir/coordination.cpp.o" "gcc" "src/core/CMakeFiles/latdiv_core.dir/coordination.cpp.o.d"
+  "/root/repo/src/core/ideal.cpp" "src/core/CMakeFiles/latdiv_core.dir/ideal.cpp.o" "gcc" "src/core/CMakeFiles/latdiv_core.dir/ideal.cpp.o.d"
+  "/root/repo/src/core/merb.cpp" "src/core/CMakeFiles/latdiv_core.dir/merb.cpp.o" "gcc" "src/core/CMakeFiles/latdiv_core.dir/merb.cpp.o.d"
+  "/root/repo/src/core/policy_wg.cpp" "src/core/CMakeFiles/latdiv_core.dir/policy_wg.cpp.o" "gcc" "src/core/CMakeFiles/latdiv_core.dir/policy_wg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/latdiv_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/latdiv_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/latdiv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latdiv_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

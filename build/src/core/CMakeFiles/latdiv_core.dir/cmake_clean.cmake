@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_core.dir/coordination.cpp.o"
+  "CMakeFiles/latdiv_core.dir/coordination.cpp.o.d"
+  "CMakeFiles/latdiv_core.dir/ideal.cpp.o"
+  "CMakeFiles/latdiv_core.dir/ideal.cpp.o.d"
+  "CMakeFiles/latdiv_core.dir/merb.cpp.o"
+  "CMakeFiles/latdiv_core.dir/merb.cpp.o.d"
+  "CMakeFiles/latdiv_core.dir/policy_wg.cpp.o"
+  "CMakeFiles/latdiv_core.dir/policy_wg.cpp.o.d"
+  "liblatdiv_core.a"
+  "liblatdiv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/channel.cpp" "src/dram/CMakeFiles/latdiv_dram.dir/channel.cpp.o" "gcc" "src/dram/CMakeFiles/latdiv_dram.dir/channel.cpp.o.d"
+  "/root/repo/src/dram/params.cpp" "src/dram/CMakeFiles/latdiv_dram.dir/params.cpp.o" "gcc" "src/dram/CMakeFiles/latdiv_dram.dir/params.cpp.o.d"
+  "/root/repo/src/dram/power.cpp" "src/dram/CMakeFiles/latdiv_dram.dir/power.cpp.o" "gcc" "src/dram/CMakeFiles/latdiv_dram.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/latdiv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latdiv_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_dram.dir/channel.cpp.o"
+  "CMakeFiles/latdiv_dram.dir/channel.cpp.o.d"
+  "CMakeFiles/latdiv_dram.dir/params.cpp.o"
+  "CMakeFiles/latdiv_dram.dir/params.cpp.o.d"
+  "CMakeFiles/latdiv_dram.dir/power.cpp.o"
+  "CMakeFiles/latdiv_dram.dir/power.cpp.o.d"
+  "liblatdiv_dram.a"
+  "liblatdiv_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

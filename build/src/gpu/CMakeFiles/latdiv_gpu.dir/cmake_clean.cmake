@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_gpu.dir/coalescer.cpp.o"
+  "CMakeFiles/latdiv_gpu.dir/coalescer.cpp.o.d"
+  "CMakeFiles/latdiv_gpu.dir/partition.cpp.o"
+  "CMakeFiles/latdiv_gpu.dir/partition.cpp.o.d"
+  "CMakeFiles/latdiv_gpu.dir/sm.cpp.o"
+  "CMakeFiles/latdiv_gpu.dir/sm.cpp.o.d"
+  "CMakeFiles/latdiv_gpu.dir/tracker.cpp.o"
+  "CMakeFiles/latdiv_gpu.dir/tracker.cpp.o.d"
+  "liblatdiv_gpu.a"
+  "liblatdiv_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_icnt.dir/crossbar.cpp.o"
+  "CMakeFiles/latdiv_icnt.dir/crossbar.cpp.o.d"
+  "liblatdiv_icnt.a"
+  "liblatdiv_icnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_icnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/controller.cpp" "src/mc/CMakeFiles/latdiv_mc.dir/controller.cpp.o" "gcc" "src/mc/CMakeFiles/latdiv_mc.dir/controller.cpp.o.d"
+  "/root/repo/src/mc/policy_sbwas.cpp" "src/mc/CMakeFiles/latdiv_mc.dir/policy_sbwas.cpp.o" "gcc" "src/mc/CMakeFiles/latdiv_mc.dir/policy_sbwas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/latdiv_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latdiv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/latdiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

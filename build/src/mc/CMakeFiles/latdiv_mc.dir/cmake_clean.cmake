@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_mc.dir/controller.cpp.o"
+  "CMakeFiles/latdiv_mc.dir/controller.cpp.o.d"
+  "CMakeFiles/latdiv_mc.dir/policy_sbwas.cpp.o"
+  "CMakeFiles/latdiv_mc.dir/policy_sbwas.cpp.o.d"
+  "liblatdiv_mc.a"
+  "liblatdiv_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

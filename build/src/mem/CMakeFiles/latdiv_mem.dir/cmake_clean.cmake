@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_mem.dir/address_map.cpp.o"
+  "CMakeFiles/latdiv_mem.dir/address_map.cpp.o.d"
+  "liblatdiv_mem.a"
+  "liblatdiv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblatdiv_mem.a"
+)

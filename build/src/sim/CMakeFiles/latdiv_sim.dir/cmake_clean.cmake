@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/latdiv_sim.dir/simulator.cpp.o.d"
+  "liblatdiv_sim.a"
+  "liblatdiv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

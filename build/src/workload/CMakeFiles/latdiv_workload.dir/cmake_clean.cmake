@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latdiv_workload.dir/generator.cpp.o"
+  "CMakeFiles/latdiv_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/latdiv_workload.dir/profile.cpp.o"
+  "CMakeFiles/latdiv_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/latdiv_workload.dir/trace.cpp.o"
+  "CMakeFiles/latdiv_workload.dir/trace.cpp.o.d"
+  "liblatdiv_workload.a"
+  "liblatdiv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latdiv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_properties.dir/test_channel_properties.cpp.o"
+  "CMakeFiles/test_channel_properties.dir/test_channel_properties.cpp.o.d"
+  "test_channel_properties"
+  "test_channel_properties.pdb"
+  "test_channel_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

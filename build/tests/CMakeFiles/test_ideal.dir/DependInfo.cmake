@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ideal.cpp" "tests/CMakeFiles/test_ideal.dir/test_ideal.cpp.o" "gcc" "tests/CMakeFiles/test_ideal.dir/test_ideal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/latdiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/latdiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/latdiv_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/latdiv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/icnt/CMakeFiles/latdiv_icnt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/latdiv_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/latdiv_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/latdiv_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/latdiv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/latdiv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ideal.dir/test_ideal.cpp.o"
+  "CMakeFiles/test_ideal.dir/test_ideal.cpp.o.d"
+  "test_ideal"
+  "test_ideal.pdb"
+  "test_ideal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merb.dir/test_merb.cpp.o"
+  "CMakeFiles/test_merb.dir/test_merb.cpp.o.d"
+  "test_merb"
+  "test_merb.pdb"
+  "test_merb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wg.dir/test_wg.cpp.o"
+  "CMakeFiles/test_wg.dir/test_wg.cpp.o.d"
+  "test_wg"
+  "test_wg.pdb"
+  "test_wg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
