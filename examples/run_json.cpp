@@ -3,7 +3,7 @@
 // JSON on stdout.  Useful for scripting parameter sweeps around the
 // library without writing C++.
 //
-//   ./examples/run_json --workload spmv --scheduler WG-W \
+//   ./examples/run_json --workload spmv --scheduler WG-W
 //       --cycles 100000 --seed 3
 //   ./examples/run_json --list          # available workloads/schedulers
 #include <cstdio>

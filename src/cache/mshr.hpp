@@ -24,6 +24,8 @@ struct MshrConfig {
 struct MshrStats {
   std::uint64_t allocations = 0;
   std::uint64_t merges = 0;
+  std::uint64_t releases = 0;  ///< fills delivered; allocations - releases
+                               ///< must equal outstanding() (no leaks)
   std::uint64_t stalls_full = 0;
 };
 
@@ -63,6 +65,7 @@ class MshrFile {
     LATDIV_ASSERT(it != entries_.end(), "fill for untracked line");
     std::vector<MemRequest> waiters = std::move(it->second);
     entries_.erase(it);
+    ++stats_.releases;
     return waiters;
   }
 

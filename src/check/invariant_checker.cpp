@@ -1,0 +1,125 @@
+#include "check/invariant_checker.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cache/mshr.hpp"
+#include "gpu/partition.hpp"
+#include "gpu/tracker.hpp"
+#include "mc/controller.hpp"
+
+namespace latdiv {
+
+InvariantChecker::InvariantChecker(bool abort_on_violation)
+    : abort_on_violation_(abort_on_violation) {}
+
+void InvariantChecker::report(Cycle now, const char* invariant,
+                              const std::string& detail) {
+  if (abort_on_violation_) {
+    std::fprintf(stderr,
+                 "latdiv: invariant violation [%s] at cycle %" PRIu64 ": %s\n",
+                 invariant, now, detail.c_str());
+    std::abort();
+  }
+  violations_.push_back(InvariantViolation{now, invariant, detail});
+}
+
+void InvariantChecker::expect_eq(std::uint64_t lhs, std::uint64_t rhs,
+                                 Cycle now, const char* invariant,
+                                 const char* equation) {
+  if (lhs == rhs) return;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s: %" PRIu64 " != %" PRIu64, equation, lhs,
+                rhs);
+  report(now, invariant, buf);
+}
+
+void InvariantChecker::expect_le(std::uint64_t lhs, std::uint64_t rhs,
+                                 Cycle now, const char* invariant,
+                                 const char* equation) {
+  if (lhs <= rhs) return;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s: %" PRIu64 " > %" PRIu64, equation, lhs,
+                rhs);
+  report(now, invariant, buf);
+}
+
+void InvariantChecker::audit_controller(const MemoryController& mc,
+                                        Cycle now) {
+  ++audits_run_;
+  const McStats& s = mc.stats();
+  const DramTiming& t = mc.channel().timing();
+
+  // Walk the bank command queues once, counting composition and depth.
+  std::uint64_t bankq_total = 0;
+  std::uint64_t bankq_reads = 0;
+  std::uint64_t bankq_writes = 0;
+  for (BankId b = 0; b < static_cast<BankId>(t.banks); ++b) {
+    const auto& q = mc.bank_queue(b);
+    expect_le(q.size(), mc.config().bank_queue_depth, now, "bankq-bound",
+              "bank queue depth within configured bound");
+    bankq_total += q.size();
+    for (const MemRequest& req : q) {
+      if (req.kind == ReqKind::kRead) {
+        ++bankq_reads;
+      } else {
+        ++bankq_writes;
+      }
+    }
+  }
+  expect_eq(mc.commands_pending(), bankq_total, now, "cmdq-count",
+            "commands_pending() == sum of bank queue sizes");
+  expect_le(mc.read_queue().size(), mc.read_queue().capacity(), now,
+            "readq-bound", "read queue within capacity");
+  expect_le(mc.write_queue().size(), mc.write_queue().capacity(), now,
+            "writeq-bound", "write queue within capacity");
+
+  // Read conservation: everything accepted is in a queue, in flight on the
+  // data bus, or served — nothing lost, nothing duplicated.
+  expect_eq(s.reads_accepted,
+            mc.read_queue().size() + bankq_reads + mc.inflight_reads() +
+                s.reads_served,
+            now, "mc-read-conservation",
+            "reads_accepted == read_q + bankq reads + inflight + served");
+  expect_eq(s.writes_accepted,
+            mc.write_queue().size() + bankq_writes + s.writes_served, now,
+            "mc-write-conservation",
+            "writes_accepted == write_q + bankq writes + served");
+
+  // Channel cross-check: every RD burst completes exactly once, every WR
+  // command was counted as served exactly once.
+  const ChannelStats& cs = mc.channel().stats();
+  expect_eq(cs.reads, s.reads_served + mc.inflight_reads(), now,
+            "channel-read-conservation",
+            "channel RD commands == reads_served + inflight");
+  expect_eq(cs.writes, s.writes_served, now, "channel-write-conservation",
+            "channel WR commands == writes_served");
+}
+
+void InvariantChecker::audit_partition(const Partition& part, Cycle now) {
+  audit_controller(part.mc(), now);
+
+  // MSHR ledger: allocations leave only through release().
+  const MshrStats& ms = part.l2_mshr().stats();
+  expect_eq(ms.allocations, ms.releases + part.l2_mshr().outstanding(), now,
+            "mshr-ledger", "MSHR allocations == releases + outstanding");
+
+  // Every outstanding L2 MSHR line is either a read the controller still
+  // owes or a completed fill waiting to install; fills and misses cannot
+  // leak between the two structures.
+  const McStats& s = part.mc().stats();
+  expect_eq(part.l2_mshr().outstanding(),
+            (s.reads_accepted - s.reads_served) + part.fills_pending(), now,
+            "mshr-mc-conservation",
+            "MSHR outstanding == MC reads outstanding + fills pending");
+}
+
+void InvariantChecker::audit_tracker(const InstrTracker& tracker,
+                                     std::size_t blocked_warps, Cycle now) {
+  ++audits_run_;
+  expect_eq(tracker.inflight(), blocked_warps, now, "tracker-liveness",
+            "live tracker records == warps blocked on loads");
+}
+
+}  // namespace latdiv

@@ -1,0 +1,80 @@
+// Cross-component conservation auditor for the request path.
+//
+// The simulator moves every MemRequest through coalescer -> L1/L2 MSHRs ->
+// crossbar -> controller queues -> bank command queues -> DRAM channel and
+// back.  Each hop hands the request to a different structure, and a bug
+// that drops or duplicates a request at a hand-off is silent: the run
+// completes and merely reports slightly wrong IPC.  This auditor closes
+// the loop with conservation laws that must hold at every cycle boundary:
+//
+//   controller:  reads_accepted  == read_q + bank-queue reads
+//                                   + inflight bursts + reads_served
+//                writes_accepted == write_q + bank-queue writes
+//                                   + writes_served
+//                channel RD commands == reads_served + inflight bursts
+//                channel WR commands == writes_served
+//                commands_pending() == sum of bank-queue depths, each
+//                within its configured bound (no silent overflow)
+//   partition:   L2 MSHR allocations == releases + outstanding (no leak)
+//                outstanding MSHR lines == controller reads outstanding
+//                                           + fills awaiting install
+//   tracker:     live InstrTracker records == warps blocked on loads
+//
+// Violations carry the failing equation with both sides evaluated; with
+// abort_on_violation the first one aborts the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace latdiv {
+
+class MemoryController;
+class Partition;
+class InstrTracker;
+
+struct InvariantViolation {
+  Cycle cycle = 0;
+  std::string invariant;  ///< short tag, e.g. "mc-read-conservation"
+  std::string detail;     ///< the equation with both sides evaluated
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(bool abort_on_violation = false);
+
+  /// Audit one controller's queues against its channel (callable between
+  /// ticks; all invariants hold at cycle boundaries).
+  void audit_controller(const MemoryController& mc, Cycle now);
+
+  /// Audit a partition: its controller plus the L2 MSHR <-> controller
+  /// conservation law.
+  void audit_partition(const Partition& part, Cycle now);
+
+  /// Audit the warp tracker against the number of warps blocked on loads
+  /// (sum of Sm::warps_blocked_on_loads() over all SMs).
+  void audit_tracker(const InstrTracker& tracker, std::size_t blocked_warps,
+                     Cycle now);
+
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+ private:
+  void expect_eq(std::uint64_t lhs, std::uint64_t rhs, Cycle now,
+                 const char* invariant, const char* equation);
+  void expect_le(std::uint64_t lhs, std::uint64_t rhs, Cycle now,
+                 const char* invariant, const char* equation);
+  void report(Cycle now, const char* invariant, const std::string& detail);
+
+  bool abort_on_violation_;
+  std::uint64_t audits_run_ = 0;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace latdiv

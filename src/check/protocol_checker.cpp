@@ -1,0 +1,286 @@
+#include "check/protocol_checker.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace latdiv {
+
+namespace {
+
+/// Format "<cycle> <CMD> bank=<b> row=<r>" into a std::string.
+std::string format_cmd(Cycle cycle, const DramCommand& cmd) {
+  char buf[96];
+  if (cmd.row == kNoRow) {
+    std::snprintf(buf, sizeof(buf), "%10" PRIu64 "  %-3s bank=%u", cycle,
+                  to_string(cmd.cmd), static_cast<unsigned>(cmd.bank));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%10" PRIu64 "  %-3s bank=%u row=%u",
+                  cycle, to_string(cmd.cmd), static_cast<unsigned>(cmd.bank),
+                  static_cast<unsigned>(cmd.row));
+  }
+  return buf;
+}
+
+/// "now=<n> needs <base>+<gap> (<rule> since <event> at <base>)"
+std::string gap_detail(const char* what, Cycle now, Cycle base, Cycle gap) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s: now=%" PRIu64 " earliest legal=%" PRIu64
+                " (reference event at %" PRIu64 ", required gap %" PRIu64 ")",
+                what, now, base + gap, base, gap);
+  return buf;
+}
+
+}  // namespace
+
+ProtocolChecker::ProtocolChecker(const DramTiming& timing,
+                                 bool abort_on_violation)
+    : t_(timing),
+      abort_on_violation_(abort_on_violation),
+      banks_(timing.banks) {
+  refresh_due_ = t_.trefi;
+}
+
+BankGroupId ProtocolChecker::group_of(BankId bank) const {
+  return static_cast<BankGroupId>(bank / t_.banks_per_group);
+}
+
+std::string ProtocolChecker::history_string() const {
+  std::string out = "recent command history (oldest first):\n";
+  for (const auto& [cycle, cmd] : history_) {
+    out += "  " + format_cmd(cycle, cmd) + "\n";
+  }
+  return out;
+}
+
+void ProtocolChecker::report(const DramCommand& cmd, Cycle now,
+                             const char* rule, const std::string& detail) {
+  ProtocolViolation v;
+  v.cycle = now;
+  v.cmd = cmd;
+  v.rule = rule;
+  v.detail = detail + "\n" + history_string();
+  if (abort_on_violation_) {
+    std::fprintf(stderr,
+                 "latdiv: GDDR5 protocol violation [%s] at cycle %" PRIu64
+                 ": %s\n%s",
+                 rule, now, format_cmd(now, cmd).c_str(), v.detail.c_str());
+    std::abort();
+  }
+  violations_.push_back(std::move(v));
+}
+
+void ProtocolChecker::on_command(const DramCommand& cmd, Cycle now) {
+  ++commands_checked_;
+
+  // Single command bus: strictly one command per cycle, time monotonic.
+  if (last_cmd_ != kNoCycle && now <= last_cmd_) {
+    report(cmd, now, "command-bus",
+           gap_detail("one command per cycle", now, last_cmd_, 1));
+  }
+  last_cmd_ = now;
+
+  if (cmd.cmd != DramCmd::kRefresh && cmd.bank >= banks_.size()) {
+    report(cmd, now, "bank-range", "bank index out of range");
+    history_.emplace_back(now, cmd);
+    if (history_.size() > kHistoryDepth) history_.pop_front();
+    return;
+  }
+
+  // tREFI cadence watchdog: the scheduler owes a REF once refresh_due_
+  // passes; missing it by a whole further interval is a lost refresh.
+  if (t_.refresh_enabled && !overdue_reported_ &&
+      cmd.cmd != DramCmd::kRefresh && now >= refresh_due_ + t_.trefi) {
+    overdue_reported_ = true;
+    report(cmd, now, "tREFI-overdue",
+           gap_detail("refresh overdue by a full interval", now,
+                      refresh_due_, t_.trefi));
+  }
+
+  switch (cmd.cmd) {
+    case DramCmd::kActivate:
+      check_activate(cmd, now);
+      break;
+    case DramCmd::kPrecharge:
+      check_precharge(cmd, now);
+      break;
+    case DramCmd::kRead:
+    case DramCmd::kWrite:
+      check_cas(cmd, now);
+      break;
+    case DramCmd::kRefresh:
+      check_refresh(cmd, now);
+      break;
+  }
+
+  history_.emplace_back(now, cmd);
+  if (history_.size() > kHistoryDepth) history_.pop_front();
+}
+
+void ProtocolChecker::check_activate(const DramCommand& cmd, Cycle now) {
+  ShadowBank& b = banks_[cmd.bank];
+  if (cmd.row == kNoRow) {
+    report(cmd, now, "ACT-row", "ACT carries no target row");
+    return;
+  }
+  if (b.row != kNoRow) {
+    report(cmd, now, "ACT-open",
+           "ACT to a bank with row " + std::to_string(b.row) +
+               " still open (missing PRE)");
+  }
+  if (b.last_act != kNoCycle && now < b.last_act + t_.trc) {
+    report(cmd, now, "tRC", gap_detail("ACT->ACT same bank", now, b.last_act,
+                                       t_.trc));
+  }
+  if (b.last_pre != kNoCycle && now < b.last_pre + t_.trp) {
+    report(cmd, now, "tRP", gap_detail("PRE->ACT", now, b.last_pre, t_.trp));
+  }
+  if (last_ref_ != kNoCycle && now < last_ref_ + t_.trfc) {
+    report(cmd, now, "tRFC", gap_detail("REF->ACT", now, last_ref_, t_.trfc));
+  }
+  if (!recent_acts_.empty() && now < recent_acts_.back() + t_.trrd) {
+    report(cmd, now, "tRRD",
+           gap_detail("ACT->ACT any bank", now, recent_acts_.back(), t_.trrd));
+  }
+  if (recent_acts_.size() == 4 && now < recent_acts_.front() + t_.tfaw) {
+    report(cmd, now, "tFAW",
+           gap_detail("fifth ACT inside the four-activate window", now,
+                      recent_acts_.front(), t_.tfaw));
+  }
+  b.row = cmd.row;
+  b.last_act = now;
+  recent_acts_.push_back(now);
+  if (recent_acts_.size() > 4) recent_acts_.pop_front();
+}
+
+void ProtocolChecker::check_precharge(const DramCommand& cmd, Cycle now) {
+  ShadowBank& b = banks_[cmd.bank];
+  if (b.row == kNoRow) {
+    report(cmd, now, "PRE-closed",
+           "PRE to an already-precharged bank (wasted command slot)");
+  }
+  if (b.last_act != kNoCycle && now < b.last_act + t_.tras) {
+    report(cmd, now, "tRAS", gap_detail("ACT->PRE", now, b.last_act, t_.tras));
+  }
+  if (b.last_rd != kNoCycle && now < b.last_rd + t_.trtp) {
+    report(cmd, now, "tRTP", gap_detail("RD->PRE", now, b.last_rd, t_.trtp));
+  }
+  if (b.last_wr != kNoCycle) {
+    // Write recovery counts from the end of write data, not the command.
+    const Cycle data_end = b.last_wr + t_.twl + t_.tburst;
+    if (now < data_end + t_.twr) {
+      report(cmd, now, "tWR",
+             gap_detail("write-data-end->PRE", now, data_end, t_.twr));
+    }
+  }
+  b.row = kNoRow;
+  b.last_pre = now;
+}
+
+void ProtocolChecker::check_cas(const DramCommand& cmd, Cycle now) {
+  ShadowBank& b = banks_[cmd.bank];
+  const bool is_read = cmd.cmd == DramCmd::kRead;
+  const char* name = is_read ? "RD" : "WR";
+  if (b.row == kNoRow) {
+    report(cmd, now, is_read ? "RD-closed" : "WR-closed",
+           std::string(name) + " to a precharged bank (no open row)");
+  } else if (b.row != cmd.row) {
+    report(cmd, now, is_read ? "RD-row" : "WR-row",
+           std::string(name) + " to row " + std::to_string(cmd.row) +
+               " but row " + std::to_string(b.row) + " is open");
+  }
+  if (b.last_act != kNoCycle && now < b.last_act + t_.trcd) {
+    report(cmd, now, "tRCD", gap_detail("ACT->CAS", now, b.last_act, t_.trcd));
+  }
+
+  const BankGroupId group = group_of(cmd.bank);
+  const Cycle last_same = is_read ? last_rd_any_ : last_wr_any_;
+  const BankGroupId last_same_group = is_read ? last_rd_group_ : last_wr_group_;
+  if (last_same != kNoCycle) {
+    const bool same_group = group == last_same_group;
+    const Cycle ccd = same_group ? t_.tccdl : t_.tccds;
+    if (now < last_same + ccd) {
+      report(cmd, now, same_group ? "tCCDL" : "tCCDS",
+             gap_detail("CAS->CAS", now, last_same, ccd));
+    }
+  }
+  if (is_read) {
+    // Write-to-read turnaround: WL + BL + tWTR from the WR command.
+    const Cycle wtr = t_.twl + t_.tburst + t_.twtr;
+    if (last_wr_any_ != kNoCycle && now < last_wr_any_ + wtr) {
+      report(cmd, now, "tWTR",
+             gap_detail("WR->RD turnaround", now, last_wr_any_, wtr));
+    }
+  } else {
+    // Read-to-write: read data must clear the bus: CL + BL + tRTRS - WL.
+    const Cycle rtw = t_.tcas + t_.tburst + t_.trtrs - t_.twl;
+    if (last_rd_any_ != kNoCycle && now < last_rd_any_ + rtw) {
+      report(cmd, now, "RTW",
+             gap_detail("RD->WR turnaround", now, last_rd_any_, rtw));
+    }
+  }
+
+  // Data-bus occupancy: bursts must not overlap.
+  const Cycle data_start = now + (is_read ? t_.tcas : t_.twl);
+  if (data_start < data_busy_until_) {
+    report(cmd, now, "data-bus",
+           gap_detail("data burst overlaps previous burst", data_start,
+                      data_busy_until_, 0));
+  }
+  if (data_start + t_.tburst > data_busy_until_) {
+    data_busy_until_ = data_start + t_.tburst;
+  }
+
+  if (is_read) {
+    b.last_rd = now;
+    last_rd_any_ = now;
+    last_rd_group_ = group;
+  } else {
+    b.last_wr = now;
+    last_wr_any_ = now;
+    last_wr_group_ = group;
+  }
+}
+
+void ProtocolChecker::check_refresh(const DramCommand& cmd, Cycle now) {
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    const ShadowBank& b = banks_[i];
+    if (b.row != kNoRow) {
+      report(cmd, now, "REF-open",
+             "REF with row " + std::to_string(b.row) + " open in bank " +
+                 std::to_string(i));
+    }
+    if (b.last_pre != kNoCycle && now < b.last_pre + t_.trp) {
+      report(cmd, now, "REF-tRP",
+             gap_detail("REF before bank finished precharging", now,
+                        b.last_pre, t_.trp));
+    }
+  }
+  if (last_ref_ != kNoCycle && now < last_ref_ + t_.trfc) {
+    report(cmd, now, "REF-tRFC",
+           gap_detail("REF->REF", now, last_ref_, t_.trfc));
+  }
+  if (t_.refresh_enabled) {
+    if (now < refresh_due_) {
+      report(cmd, now, "tREFI-early",
+             gap_detail("REF before the interval elapsed", now,
+                        refresh_due_ - t_.trefi, t_.trefi));
+    }
+    refresh_due_ += t_.trefi;
+    overdue_reported_ = false;
+  }
+  last_ref_ = now;
+}
+
+void ProtocolChecker::finalize(Cycle end) {
+  if (t_.refresh_enabled && !overdue_reported_ &&
+      end >= refresh_due_ + t_.trefi) {
+    overdue_reported_ = true;
+    report(DramCommand{DramCmd::kRefresh, 0, kNoRow}, end, "tREFI-missed",
+           gap_detail("run ended with a refresh a full interval overdue",
+                      end, refresh_due_, t_.trefi));
+  }
+}
+
+}  // namespace latdiv

@@ -1,0 +1,108 @@
+// Independent GDDR5 protocol-conformance checker.
+//
+// The Channel both answers can_issue() and enforces it, so a bug in its
+// timing bookkeeping is invisible to the controller that queries it — the
+// two agree by construction.  ProtocolChecker breaks that correlation: it
+// observes the raw command stream through Channel::set_command_observer()
+// and re-validates every JEDEC constraint from the paper's Table II with
+// its own shadow state machine, written directly from the rule definitions
+// (last-event timestamps per bank) rather than the Channel's derived
+// earliest-next-command representation.
+//
+// Checked rules:
+//   per-bank:   tRC, tRCD, tRP, tRAS, tRTP, tWR, row open/closed state
+//   inter-bank: tRRD, tFAW (four-activate window)
+//   CAS-to-CAS: tCCDL (same bank group), tCCDS (different groups)
+//   turnaround: tWTR (write->read), CL+BL+tRTRS-WL (read->write),
+//               data-bus burst overlap
+//   refresh:    all banks precharged with tRP elapsed, tRFC occupancy,
+//               tREFI cadence (early and overdue)
+//   bus:        at most one command per cycle, monotonic time
+//
+// Violations are recorded with the recent command history attached; with
+// abort_on_violation the first one is printed and the process aborts, so
+// any simulation wired through the checker turns into a conformance test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/command.hpp"
+#include "dram/params.hpp"
+
+namespace latdiv {
+
+struct ProtocolViolation {
+  Cycle cycle = 0;
+  DramCommand cmd;
+  std::string rule;    ///< short rule tag, e.g. "tFAW", "RD-row"
+  std::string detail;  ///< human-readable report incl. command history
+};
+
+class ProtocolChecker {
+ public:
+  explicit ProtocolChecker(const DramTiming& timing,
+                           bool abort_on_violation = false);
+
+  /// Observe one command (wire as the Channel's command observer).
+  void on_command(const DramCommand& cmd, Cycle now);
+
+  /// End-of-run checks that no single command can trigger (a refresh that
+  /// simply never happened).
+  void finalize(Cycle end);
+
+  [[nodiscard]] const std::vector<ProtocolViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t commands_checked() const {
+    return commands_checked_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+  /// Formatted dump of the retained command history (newest last).
+  [[nodiscard]] std::string history_string() const;
+
+ private:
+  struct ShadowBank {
+    RowId row = kNoRow;
+    Cycle last_act = kNoCycle;
+    Cycle last_pre = kNoCycle;
+    Cycle last_rd = kNoCycle;
+    Cycle last_wr = kNoCycle;
+  };
+
+  void check_activate(const DramCommand& cmd, Cycle now);
+  void check_precharge(const DramCommand& cmd, Cycle now);
+  void check_cas(const DramCommand& cmd, Cycle now);
+  void check_refresh(const DramCommand& cmd, Cycle now);
+  [[nodiscard]] BankGroupId group_of(BankId bank) const;
+  void report(const DramCommand& cmd, Cycle now, const char* rule,
+              const std::string& detail);
+
+  DramTiming t_;
+  bool abort_on_violation_;
+
+  std::vector<ShadowBank> banks_;
+  std::deque<Cycle> recent_acts_;  ///< newest at back; at most 4 kept
+  Cycle last_rd_any_ = kNoCycle;
+  Cycle last_wr_any_ = kNoCycle;
+  BankGroupId last_rd_group_ = 0;
+  BankGroupId last_wr_group_ = 0;
+  Cycle last_ref_ = kNoCycle;
+  Cycle last_cmd_ = kNoCycle;
+  Cycle data_busy_until_ = 0;
+  Cycle refresh_due_ = 0;
+  bool overdue_reported_ = false;
+
+  static constexpr std::size_t kHistoryDepth = 32;
+  std::deque<std::pair<Cycle, DramCommand>> history_;
+
+  std::uint64_t commands_checked_ = 0;
+  std::vector<ProtocolViolation> violations_;
+};
+
+}  // namespace latdiv

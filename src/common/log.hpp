@@ -1,9 +1,22 @@
 // Assertion and fatal-error helpers.
 //
-// LATDIV_ASSERT is active in all build types: a cycle-level simulator whose
-// timing checker silently accepts an illegal command produces numbers that
-// look plausible and are wrong, so internal invariants stay on even in
-// release benchmarking builds (the cost is a well-predicted branch).
+// Two tiers:
+//
+//   LATDIV_ASSERT(expr [, msg])  — active in all build types: a cycle-level
+//     simulator whose timing checker silently accepts an illegal command
+//     produces numbers that look plausible and are wrong, so internal
+//     invariants stay on even in release benchmarking builds (the cost is
+//     a well-predicted branch).
+//
+//   LATDIV_DCHECK(expr [, msg])  — debug-only checks for conditions that
+//     are expensive to evaluate (conservation sums, cross-structure
+//     audits).  Compiles out when NDEBUG is defined (Release /
+//     RelWithDebInfo) unless LATDIV_ENABLE_DCHECKS is forced to 1 on the
+//     command line (the sanitizer CI job does this).
+//
+// Both macros expand to a single statement (do { } while (false)) so they
+// are safe as the sole body of an unbraced if/else, and the message
+// argument is optional.
 #pragma once
 
 #include <cstdio>
@@ -12,7 +25,7 @@
 namespace latdiv::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
-                                     int line, const char* msg) {
+                                     int line, const char* msg = nullptr) {
   std::fprintf(stderr, "latdiv: assertion failed: %s\n  at %s:%d\n  %s\n",
                expr, file, line, msg ? msg : "");
   std::abort();
@@ -20,12 +33,33 @@ namespace latdiv::detail {
 
 }  // namespace latdiv::detail
 
-#define LATDIV_ASSERT(expr, msg)                                     \
-  do {                                                               \
-    if (!(expr)) {                                                   \
-      ::latdiv::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
-    }                                                                \
+#define LATDIV_ASSERT(expr, ...)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::latdiv::detail::assert_fail(#expr, __FILE__,                  \
+                                    __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                 \
   } while (false)
 
-#define LATDIV_UNREACHABLE(msg) \
-  ::latdiv::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)
+#define LATDIV_UNREACHABLE(...)                               \
+  ::latdiv::detail::assert_fail("unreachable", __FILE__,      \
+                                __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+
+#ifndef LATDIV_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define LATDIV_ENABLE_DCHECKS 0
+#else
+#define LATDIV_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if LATDIV_ENABLE_DCHECKS
+#define LATDIV_DCHECK(expr, ...) LATDIV_ASSERT(expr __VA_OPT__(, ) __VA_ARGS__)
+#else
+// Swallow the condition without evaluating it; sizeof keeps the expression
+// type-checked so a DCHECK cannot rot in release-only configurations.
+#define LATDIV_DCHECK(expr, ...) \
+  do {                           \
+    (void)sizeof(!(expr));       \
+  } while (false)
+#endif

@@ -87,6 +87,7 @@ void WgPolicy::on_remote_selection(MemoryController& mc, const CoordMsg& msg,
 void WgPolicy::on_drain_start(MemoryController& mc, Cycle) {
   std::size_t stalled = 0;
   std::size_t small = 0;
+  // lint: order-independent (pure counting; no selection by position)
   for (const auto& [instr, meta] : groups_) {
     const std::uint32_t remaining = meta.seen - meta.pushed;
     if (remaining == 0) continue;

@@ -89,6 +89,7 @@ bool Channel::can_issue(const DramCommand& cmd, Cycle now) const {
 }
 
 Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
+  if (observer_) observer_(cmd, now);
   LATDIV_ASSERT(can_issue(cmd, now), "illegal DRAM command issued");
   LATDIV_ASSERT(last_cmd_cycle_ == kNoCycle || now > last_cmd_cycle_,
                 "two commands in one cycle on a single command bus");

@@ -17,6 +17,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -48,6 +50,14 @@ class Channel {
   /// cycle read data is fully at the controller, for WR the cycle write
   /// data has been accepted; kNoCycle for non-data commands.
   Cycle issue(const DramCommand& cmd, Cycle now);
+
+  /// Observer invoked at the top of issue() for every command, before any
+  /// state change.  Used by the protocol-conformance checker (src/check)
+  /// to shadow-validate the command stream independently of can_issue().
+  using CommandObserver = std::function<void(const DramCommand&, Cycle)>;
+  void set_command_observer(CommandObserver obs) {
+    observer_ = std::move(obs);
+  }
 
   /// Row currently open in `bank` (kNoRow if precharged).
   [[nodiscard]] RowId open_row(BankId bank) const;
@@ -101,6 +111,7 @@ class Channel {
   Cycle data_bus_free_at_ = 0;
   Cycle next_refresh_at_ = 0;
 
+  CommandObserver observer_;
   ChannelStats stats_;
 };
 

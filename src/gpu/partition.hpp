@@ -65,6 +65,9 @@ class Partition {
   [[nodiscard]] MemoryController& mc() { return *mc_; }
   [[nodiscard]] const MemoryController& mc() const { return *mc_; }
   [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] const MshrFile& l2_mshr() const { return mshr_; }
+  /// Completed DRAM reads awaiting L2 install (conservation audits).
+  [[nodiscard]] std::size_t fills_pending() const { return fills_.size(); }
   [[nodiscard]] const PartitionStats& stats() const { return stats_; }
   [[nodiscard]] ChannelId id() const { return id_; }
 

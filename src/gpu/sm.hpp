@@ -73,6 +73,17 @@ class Sm {
   [[nodiscard]] const Cache& l1() const { return l1_; }
   [[nodiscard]] const MshrFile& mshr() const { return mshr_; }
 
+  /// Warps blocked on an in-flight divergent load.  Each such warp owns
+  /// exactly one live InstrTracker record, so the sum over all SMs must
+  /// equal InstrTracker::inflight() (checked by the invariant auditor).
+  [[nodiscard]] std::size_t warps_blocked_on_loads() const {
+    std::size_t n = 0;
+    for (const Warp& w : warps_) {
+      if (w.pending_lines > 0) ++n;
+    }
+    return n;
+  }
+
  private:
   struct Warp {
     Cycle ready_at = 0;

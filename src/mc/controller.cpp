@@ -63,9 +63,11 @@ void MemoryController::push(MemRequest req, Cycle now) {
   if (req.kind == ReqKind::kRead) {
     LATDIV_ASSERT(!read_q_.full(), "read queue overflow");
     read_q_.push(req);
+    ++stats_.reads_accepted;
   } else {
     LATDIV_ASSERT(!write_q_.full(), "write queue overflow");
     write_q_.push(req);
+    ++stats_.writes_accepted;
   }
   policy_->on_push(*this, req, now);
 }
@@ -167,6 +169,10 @@ void MemoryController::complete_reads(Cycle now) {
   while (!inflight_reads_.empty() && inflight_reads_.top().done <= now) {
     Inflight done = inflight_reads_.top();
     inflight_reads_.pop();
+    LATDIV_DCHECK(done.req.completed == kNoCycle,
+                  "read completing a second time");
+    LATDIV_DCHECK(done.done >= done.req.arrived_at_mc,
+                  "read completed before it arrived");
     done.req.completed = done.done;
     stats_.read_service_cycles.add(
         static_cast<double>(done.done - done.req.arrived_at_mc));
@@ -221,6 +227,8 @@ void MemoryController::issue_one_command(Cycle now) {
       if (cmd.cmd == DramCmd::kRead || cmd.cmd == DramCmd::kWrite) {
         MemRequest req = bank_q_[bank].front();
         bank_q_[bank].pop_front();
+        LATDIV_DCHECK(req.loc.bank == bank && req.loc.row == cmd.row,
+                      "CAS issued for a request other than the bank head");
         --cmdq_total_;
         if (cmd.cmd == DramCmd::kRead) {
           stats_.read_queueing_cycles.add(

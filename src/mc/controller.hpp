@@ -45,6 +45,8 @@ struct McConfig {
 
 /// Controller-level counters (DRAM-level counters live in ChannelStats).
 struct McStats {
+  std::uint64_t reads_accepted = 0;   ///< pushes into the read queue
+  std::uint64_t writes_accepted = 0;  ///< pushes into the write queue
   std::uint64_t reads_served = 0;
   std::uint64_t writes_served = 0;
   std::uint64_t drains_started = 0;
@@ -103,6 +105,15 @@ class MemoryController {
   /// command queue.  Caller must have checked bank_queue_has_space().
   void send_to_bank(MemRequest req, Cycle now);
   [[nodiscard]] const Channel& channel() const { return channel_; }
+  /// Mutable channel access, needed to attach a command observer
+  /// (src/check protocol checker).  Scheduling code must use the const
+  /// accessor.
+  [[nodiscard]] Channel& channel_mut() { return channel_; }
+  /// Reads that issued their CAS but whose data burst has not completed
+  /// (conservation audits: accepted == queued + pending + inflight + served).
+  [[nodiscard]] std::size_t inflight_reads() const {
+    return inflight_reads_.size();
+  }
   [[nodiscard]] bool in_write_drain() const { return write_mode_; }
   [[nodiscard]] const McConfig& config() const { return cfg_; }
   [[nodiscard]] ChannelId id() const { return id_; }

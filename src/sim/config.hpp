@@ -36,6 +36,19 @@ enum class SchedulerKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SchedulerKind kind);
 
+/// Runtime correctness checkers (src/check).  Both are off by default for
+/// benchmarking runs; shrink_for_tests() turns them on so the whole unit
+/// suite doubles as a protocol-conformance harness.
+struct CheckConfig {
+  bool protocol = false;    ///< shadow GDDR5 timing verifier per channel
+  bool invariants = false;  ///< request-path conservation audits
+  /// Abort (with a full report) on the first violation.  Tests that probe
+  /// the checkers themselves set this false and inspect violations().
+  bool abort_on_violation = true;
+  /// Global cycles between invariant audits (audits are O(queued work)).
+  Cycle audit_interval = 64;
+};
+
 struct SimConfig {
   // GPU organisation (Table II).
   std::uint32_t num_sms = 30;
@@ -73,6 +86,9 @@ struct SimConfig {
   // Run length (global DRAM command-clock cycles).
   Cycle max_cycles = 300'000;
   Cycle warmup_cycles = 30'000;
+
+  // Correctness checkers.
+  CheckConfig check;
 
   /// Scale all structure counts down for fast unit tests.
   void shrink_for_tests();

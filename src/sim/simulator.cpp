@@ -33,6 +33,11 @@ void SimConfig::shrink_for_tests() {
   max_cycles = 20'000;
   warmup_cycles = 2'000;
   dram.refresh_enabled = false;
+  // Unit-test runs double as conformance runs: any illegal DRAM command
+  // or conservation break aborts the test.
+  check.protocol = true;
+  check.invariants = true;
+  check.abort_on_violation = true;
 }
 
 std::unique_ptr<TransactionScheduler> Simulator::make_policy(ChannelId id) {
@@ -122,6 +127,36 @@ Simulator::Simulator(const SimConfig& cfg)
   for (auto& part : partitions_) mcs.push_back(&part->mc());
   coord_ = std::make_unique<CoordinationNetwork>(std::move(mcs),
                                                  cfg_.coordination_latency);
+
+  // Correctness checkers: a shadow protocol verifier per channel, one
+  // conservation auditor across the whole request path.
+  if (cfg_.check.protocol) {
+    for (auto& part : partitions_) {
+      auto checker = std::make_unique<ProtocolChecker>(
+          timing_, cfg_.check.abort_on_violation);
+      ProtocolChecker* raw = checker.get();
+      part->mc().channel_mut().set_command_observer(
+          [raw](const DramCommand& cmd, Cycle at) {
+            raw->on_command(cmd, at);
+          });
+      protocol_checkers_.push_back(std::move(checker));
+    }
+  }
+  if (cfg_.check.invariants) {
+    LATDIV_ASSERT(cfg_.check.audit_interval > 0,
+                  "invariant audits need a positive interval");
+    invariant_checker_ =
+        std::make_unique<InvariantChecker>(cfg_.check.abort_on_violation);
+  }
+}
+
+void Simulator::audit_invariants() {
+  for (const auto& part : partitions_) {
+    invariant_checker_->audit_partition(*part, now_);
+  }
+  std::size_t blocked = 0;
+  for (const auto& sm : sms_) blocked += sm->warps_blocked_on_loads();
+  invariant_checker_->audit_tracker(tracker_, blocked, now_);
 }
 
 void Simulator::step() {
@@ -134,6 +169,10 @@ void Simulator::step() {
   for (auto& part : partitions_) part->tick_dram(now_);
   coord_->tick(now_);
   ++now_;
+
+  if (invariant_checker_ && now_ % cfg_.check.audit_interval == 0) {
+    audit_invariants();
+  }
 
   if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
     warmup_done_at_ = now_;
@@ -149,6 +188,8 @@ std::uint64_t Simulator::total_instructions() const {
 
 RunResult Simulator::run() {
   while (now_ < cfg_.max_cycles) step();
+  for (auto& checker : protocol_checkers_) checker->finalize(now_);
+  if (invariant_checker_) audit_invariants();
   return collect();
 }
 
@@ -198,7 +239,6 @@ RunResult Simulator::collect() const {
   std::uint64_t idle = 0;
   std::uint64_t l2_hits = 0, l2_misses = 0;
   std::uint64_t drain_groups = 0, drain_small = 0;
-  ChannelStats merged{};
   for (const auto& part : partitions_) {
     const ChannelStats& cs = part->mc().channel().stats();
     busy += cs.data_bus_busy_cycles;
@@ -221,13 +261,6 @@ RunResult Simulator::collect() const {
       r.wg_shared_boosts += wg->wg_stats().shared_boosts;
     }
   }
-  merged.activates = acts;
-  merged.reads = reads;
-  merged.writes = writes;
-  merged.refreshes = refs;
-  merged.data_bus_busy_cycles = busy;
-  merged.all_banks_idle_cycles = idle;
-
   const double chans = static_cast<double>(partitions_.size());
   r.bandwidth_utilization =
       safe_ratio(static_cast<double>(busy), static_cast<double>(now_) * chans);

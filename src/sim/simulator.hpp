@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/invariant_checker.hpp"
+#include "check/protocol_checker.hpp"
 #include "core/coordination.hpp"
 #include "core/ideal.hpp"
 #include "gpu/partition.hpp"
@@ -40,7 +42,17 @@ class Simulator {
   void step();
   [[nodiscard]] Cycle now() const { return now_; }
 
+  // Checker access (null / empty unless enabled via cfg.check).
+  [[nodiscard]] const ProtocolChecker* protocol_checker(std::size_t i) const {
+    return i < protocol_checkers_.size() ? protocol_checkers_[i].get()
+                                         : nullptr;
+  }
+  [[nodiscard]] const InvariantChecker* invariant_checker() const {
+    return invariant_checker_.get();
+  }
+
  private:
+  void audit_invariants();
   [[nodiscard]] std::unique_ptr<TransactionScheduler> make_policy(ChannelId id);
   [[nodiscard]] std::uint64_t total_instructions() const;
   RunResult collect() const;
@@ -59,6 +71,8 @@ class Simulator {
   std::vector<std::unique_ptr<Sm>> sms_;
   std::unique_ptr<CoordinationNetwork> coord_;
   std::shared_ptr<ZldCoordinator> zld_;
+  std::vector<std::unique_ptr<ProtocolChecker>> protocol_checkers_;
+  std::unique_ptr<InvariantChecker> invariant_checker_;
 
   Cycle now_ = 0;
   std::uint64_t warmup_instructions_ = 0;

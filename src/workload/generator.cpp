@@ -87,7 +87,9 @@ void WorkloadGenerator::fill_memory_instr(WarpInstr& instr, SmId sm,
       // sweep a region, creating the cross-warp DRAM row locality a
       // throughput-optimized scheduler feeds on.
       cluster_base = stream_line(sm);
-      for (std::uint32_t j = 1; j < clen; ++j) stream_line(sm);
+      // Advance the stream cursor past the cluster (addresses discarded:
+      // the cluster is materialised from cluster_base below).
+      for (std::uint32_t j = 1; j < clen; ++j) (void)stream_line(sm);
     } else {
       cluster_base = random_line(rng);
     }

@@ -170,7 +170,9 @@ TEST(Generator, StreamingWarpsAdvanceSequentially) {
     const WarpInstr instr = g.next(0, 0);
     if (instr.kind == WarpInstr::Kind::kCompute) continue;
     const Addr line = instr.lane_addr[0] & ~Addr{127};
-    if (!first && line != 0) EXPECT_EQ(line, prev + 128);
+    if (!first && line != 0) {
+      EXPECT_EQ(line, prev + 128);
+    }
     prev = line;
     first = false;
   }

@@ -94,7 +94,7 @@ TEST(PowerModel, ScalesWithDeviceCount) {
 
 TEST(PowerModelDeath, ZeroIntervalAborts) {
   const PowerModel pm(Gddr5PowerParams{}, DramParams{});
-  EXPECT_DEATH(pm.compute(ChannelStats{}, 0), "interval");
+  EXPECT_DEATH((void)pm.compute(ChannelStats{}, 0), "interval");
 }
 
 }  // namespace

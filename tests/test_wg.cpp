@@ -48,7 +48,7 @@ struct Harness {
     return p;
   }
 
-  void push_group(WarpInstrUid uid, std::vector<MemRequest> reqs,
+  void push_group(WarpInstrUid /*uid*/, std::vector<MemRequest> reqs,
                   bool complete = true) {
     for (const MemRequest& r : reqs) mc.push(r, now);
     if (complete) mc.notify_group_complete(reqs.front().tag, now);

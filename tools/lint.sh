@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Determinism lint for latdiv.
+#
+# The simulator must be bit-reproducible: two runs with the same SimConfig
+# and seed must produce identical RunResults (the test suite asserts this,
+# but only for the configurations it happens to run).  This lint bans the
+# source-level constructs that break reproducibility:
+#
+#   1. Wall-clock time anywhere in src/ (std::chrono clocks, time(),
+#      gettimeofday, clock_gettime, clock()).
+#   2. Non-seeded / global randomness (rand, srand, random_device) —
+#      all randomness must flow through common/rng.hpp's seeded Rng.
+#   3. Iteration over address-ordered (unordered) containers in the
+#      scheduling paths (src/mc, src/core): iteration order of an
+#      unordered_map depends on pointer values and hashing salt, so a
+#      scheduler that picks "the first" element of one is nondeterministic
+#      across platforms.  Loops that only aggregate (sums, counts) are
+#      order-independent and may be annotated with
+#      `// lint: order-independent` on the loop line or the line above.
+#
+# Exit status: 0 clean, 1 findings (each printed as file:line: message).
+set -u
+
+cd "$(dirname "$0")/.."
+SRC=src
+status=0
+
+fail() { # one finding per argument line
+  status=1
+  printf '%s\n' "$1"
+}
+
+note_allowed() { :; }
+
+# --- 1. wall-clock time -------------------------------------------------
+if out=$(grep -rnE 'std::chrono::(system_clock|steady_clock|high_resolution_clock)|[^a-zA-Z_](gettimeofday|clock_gettime)\s*\(|[^a-zA-Z_.]time\s*\(\s*(NULL|nullptr|0)?\s*\)' \
+    --include='*.hpp' --include='*.cpp' "$SRC"); then
+  fail "$(echo "$out" | sed 's/$/  [banned: wall-clock time in the simulator]/')"
+fi
+
+# --- 2. unseeded randomness --------------------------------------------
+if out=$(grep -rnE '[^a-zA-Z_](rand|srand)\s*\(|std::random_device' \
+    --include='*.hpp' --include='*.cpp' "$SRC"); then
+  fail "$(echo "$out" | sed 's/$/  [banned: use the seeded Rng in common\/rng.hpp]/')"
+fi
+
+# --- 3. unordered-container iteration in scheduling paths ---------------
+# Collect every variable declared with an unordered container type across
+# the scheduling paths (members live in headers, loops in .cpp files, so
+# names must be pooled directory-wide), then flag range-for loops over any
+# of those names unless annotated order-independent.
+sched_files=$(find "$SRC/mc" "$SRC/core" \( -name '*.hpp' -o -name '*.cpp' \) | sort)
+names=$(grep -hoE 'unordered_(map|set)<[^;]*>\s+[A-Za-z_][A-Za-z0-9_]*' $sched_files \
+          | sed -E 's/.*>[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)$/\1/' | sort -u)
+for name in $names; do
+  for f in $sched_files; do
+    # Range-for over the container (with or without qualification).
+    matches=$(grep -nE "for\s*\(.*:\s*[A-Za-z_>.()-]*\b${name}\b\s*\)" "$f" || true)
+    [ -z "$matches" ] && continue
+    while IFS= read -r m; do
+      line=${m%%:*}
+      prev=$((line - 1))
+      if sed -n "${line}p;${prev}p" "$f" | grep -q 'lint: order-independent'; then
+        note_allowed
+      else
+        fail "$f:$line: range-for over unordered container '$name' in a scheduling path  [annotate '// lint: order-independent' if the loop only aggregates]"
+      fi
+    done <<< "$matches"
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint.sh: clean"
+fi
+exit "$status"
