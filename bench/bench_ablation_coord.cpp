@@ -4,46 +4,12 @@
 // 32-bit message per warp-group selection.  This sweep varies the
 // delivery latency from "free" (1 cycle) to slower than the typical
 // selection turnaround, showing how stale scores blunt WG-M.
-#include <cstdio>
-#include <vector>
-
+//
+// Thin wrapper over the src/exp "coord" manifest; `latdiv-sweep coord`
+// runs the same sweep.
 #include "bench/harness.hpp"
 
-using namespace latdiv;
-using namespace latdiv::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::parse(argc, argv);
-  banner("Ablation — WG-M coordination latency (paper: ~2 flits on 16-bit "
-         "links; we default to 4 cycles)",
-         "stale remote scores reduce the laggard boosts that land in time");
-  print_config(opts);
-
-  const std::vector<Cycle> latencies = {1, 4, 16, 64, 256};
-  std::vector<std::string> head;
-  for (auto l : latencies) head.push_back("lat=" + fixed(l, 0));
-  head.push_back("WG(base)");
-  print_row("workload", head);
-
-  // The multi-controller apps are where coordination can matter.
-  std::vector<std::vector<double>> cols(latencies.size());
-  for (const char* name : {"cfd", "sp", "sssp", "spmv"}) {
-    const WorkloadProfile w = profile_by_name(name);
-    std::vector<std::string> cells;
-    for (std::size_t i = 0; i < latencies.size(); ++i) {
-      const Cycle l = latencies[i];
-      const double ipc =
-          mean_ipc(w, SchedulerKind::kWgM, opts,
-                   [l](SimConfig& c) { c.coordination_latency = l; });
-      cols[i].push_back(ipc);
-      cells.push_back(fixed(ipc, 3));
-    }
-    cells.push_back(fixed(mean_ipc(w, SchedulerKind::kWg, opts), 3));
-    print_row(name, cells);
-  }
-  std::vector<std::string> gm;
-  for (auto& col : cols) gm.push_back(fixed(geomean(col), 3));
-  gm.push_back("-");
-  print_row("geomean-IPC", gm);
-  return 0;
+  return latdiv::bench::run_figure(
+      "coord", latdiv::bench::Options::parse(argc, argv));
 }

@@ -3,66 +3,16 @@
 // The paper motivates GDDR5 for GPUs by its higher bank count, bank
 // groups with a short cross-group CAS gap, and a power-delivery network
 // that sustains more frequent activations (lower tFAW relative to row
-// service).  This bench swaps the device model under the same workloads
-// and schedulers: the MERB table stretches on DDR3 (misses are harder to
-// hide) and absolute throughput drops, while the warp-aware gains
-// persist on both devices.
-#include <cstdio>
-#include <vector>
-
+// service).  The sweep swaps the device model under the same workloads
+// and schedulers; IPC is per *core cycle* and the core clock is derived
+// from the device command clock, so the manifest compares instructions
+// per microsecond to put both devices on the same time base.
+//
+// Thin wrapper over the src/exp "device" manifest; `latdiv-sweep device`
+// runs the same sweep.
 #include "bench/harness.hpp"
-#include "core/merb.hpp"
-
-using namespace latdiv;
-using namespace latdiv::bench;
 
 int main(int argc, char** argv) {
-  const Options opts = Options::parse(argc, argv);
-  banner("Ablation — GDDR5 vs DDR3-1600 device model",
-         "§II-B: bank groups + low tFAW make GDDR5 suit frequent activates");
-  print_config(opts);
-
-  // MERB tables side by side.
-  const MerbTable merb_g(DramTiming::from(gddr5_params()));
-  const MerbTable merb_d(DramTiming::from(ddr3_1600_params()));
-  std::printf("\nMERB tables (banks -> transfers needed to hide a miss):\n");
-  std::printf("%-8s", "banks");
-  for (std::uint32_t b = 1; b <= 8; ++b) std::printf("%6u", b);
-  std::printf("\n%-8s", "GDDR5");
-  for (std::uint32_t b = 1; b <= 8; ++b) std::printf("%6u", merb_g.value(b));
-  std::printf("\n%-8s", "DDR3");
-  for (std::uint32_t b = 1; b <= 8; ++b) std::printf("%6u", merb_d.value(b));
-  std::printf("\n\n");
-
-  // IPC is per *core cycle*, and the core clock is derived from the
-  // device command clock — compare instructions per microsecond so the
-  // two devices are on the same time base.
-  print_row("workload", {"G5 Mi/s", "G5-WGW", "gain", "D3 Mi/s", "D3-WGW",
-                         "gain"});
-  std::vector<double> g5_gain, d3_gain, dev_ratio;
-  const auto ddr3_hook = [](SimConfig& c) { c.dram = ddr3_1600_params(); };
-  const double g5_core_ghz = 1.0 / (2.0 * gddr5_params().tck_ns);
-  const double d3_core_ghz = 1.0 / (2.0 * ddr3_1600_params().tck_ns);
-  for (const char* name : {"bfs", "nw", "sssp", "spmv"}) {
-    const WorkloadProfile w = profile_by_name(name);
-    const double g5g = mean_ipc(w, SchedulerKind::kGmc, opts) * g5_core_ghz;
-    const double g5w = mean_ipc(w, SchedulerKind::kWgW, opts) * g5_core_ghz;
-    const double d3g =
-        mean_ipc(w, SchedulerKind::kGmc, opts, ddr3_hook) * d3_core_ghz;
-    const double d3w =
-        mean_ipc(w, SchedulerKind::kWgW, opts, ddr3_hook) * d3_core_ghz;
-    g5_gain.push_back(g5w / g5g);
-    d3_gain.push_back(d3w / d3g);
-    dev_ratio.push_back(g5g / d3g);
-    print_row(name, {fixed(g5g * 1e3, 0), fixed(g5w * 1e3, 0),
-                     fixed(g5w / g5g, 3), fixed(d3g * 1e3, 0),
-                     fixed(d3w * 1e3, 0), fixed(d3w / d3g, 3)});
-  }
-  print_row("geomean", {"-", "-", fixed(geomean(g5_gain), 3), "-", "-",
-                        fixed(geomean(d3_gain), 3)});
-  std::printf("\nGDDR5 delivers %.2fx DDR3's throughput at equal core IPC "
-              "pressure (longer DDR3 bursts, fewer banks, tighter activate "
-              "budget); warp-aware gains persist on both devices.\n",
-              geomean(dev_ratio));
-  return 0;
+  return latdiv::bench::run_figure(
+      "device", latdiv::bench::Options::parse(argc, argv));
 }

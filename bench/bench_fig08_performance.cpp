@@ -3,42 +3,13 @@
 //
 // Paper: WG +3.4%, WG-M +6.2%, WG-Bw +8.4%, WG-W +10.1% (geometric mean
 // over the 11 irregular workloads), with the gains largely additive.
-#include <cstdio>
-#include <vector>
-
+//
+// Thin wrapper over the src/exp "fig8" manifest; all driver logic
+// (parallel execution, aggregation, artifacts, golden checks) lives in
+// the sweep engine.  `latdiv-sweep fig8` runs the same manifest.
 #include "bench/harness.hpp"
 
-using namespace latdiv;
-using namespace latdiv::bench;
-
 int main(int argc, char** argv) {
-  const Options opts = Options::parse(argc, argv);
-  banner("Fig. 8 — Performance normalized to the GMC baseline",
-         "WG +3.4%, WG-M +6.2%, WG-Bw +8.4%, WG-W +10.1% (geomean, IPC)");
-  print_config(opts);
-
-  const std::vector<SchedulerKind> scheds = {
-      SchedulerKind::kGmc, SchedulerKind::kWg, SchedulerKind::kWgM,
-      SchedulerKind::kWgBw, SchedulerKind::kWgW};
-  const auto workloads = irregular_suite();
-
-  print_row("workload", {"GMC-IPC", "WG", "WG-M", "WG-Bw", "WG-W"});
-  std::vector<std::vector<double>> speedups(scheds.size() - 1);
-  for (const WorkloadProfile& w : workloads) {
-    const double base = mean_ipc(w, scheds[0], opts);
-    std::vector<std::string> cells{fixed(base, 2)};
-    for (std::size_t s = 1; s < scheds.size(); ++s) {
-      const double rel = mean_ipc(w, scheds[s], opts) / base;
-      speedups[s - 1].push_back(rel);
-      cells.push_back(fixed(rel, 3));
-    }
-    print_row(w.name, cells);
-  }
-  std::vector<std::string> gm_cells{"-"};
-  for (auto& series : speedups) gm_cells.push_back(fixed(geomean(series), 3));
-  print_row("geomean", gm_cells);
-
-  std::printf("\npaper geomeans:      GMC=1.000  WG=1.034  WG-M=1.062  "
-              "WG-Bw=1.084  WG-W=1.101\n");
-  return 0;
+  return latdiv::bench::run_figure(
+      "fig8", latdiv::bench::Options::parse(argc, argv));
 }

@@ -3,41 +3,14 @@
 //
 // Paper:  banks   1   2   3   4   5   6-16
 //         MERB   31  20  10   7   5   5
-#include <cstdio>
-
+//
+// Thin wrapper over the src/exp "tab1" manifest (analytic points, no
+// simulation).  The MERB column throws on any mismatch with the paper's
+// values, which the sweep engine reports as a failed point and a
+// nonzero exit code — same contract as the old hand-rolled check.
 #include "bench/harness.hpp"
-#include "core/merb.hpp"
-
-using namespace latdiv;
-using namespace latdiv::bench;
 
 int main(int argc, char** argv) {
-  (void)Options::parse(argc, argv);
-  banner("Table I — MERB table for GDDR5",
-         "banks {1,2,3,4,5,6-16} -> MERB {31,20,10,7,5,5}");
-
-  const DramTiming t = DramTiming::from(DramParams{});
-  const MerbTable merb(t);
-  std::printf("timings (cycles @ tCK=0.667ns): tRTP=%llu tRP=%llu tRCD=%llu "
-              "tBURST=%llu tRRD=%llu tFAW=%llu\n",
-              static_cast<unsigned long long>(t.trtp),
-              static_cast<unsigned long long>(t.trp),
-              static_cast<unsigned long long>(t.trcd),
-              static_cast<unsigned long long>(t.tburst),
-              static_cast<unsigned long long>(t.trrd),
-              static_cast<unsigned long long>(t.tfaw));
-
-  std::printf("\n%-8s %-8s %-8s\n", "banks", "MERB", "paper");
-  const std::uint32_t paper[] = {31, 20, 10, 7, 5};
-  bool all_match = true;
-  for (std::uint32_t b = 1; b <= 16; ++b) {
-    const std::uint32_t expect = b <= 5 ? paper[b - 1] : 5;
-    const std::uint32_t got = merb.value(b);
-    std::printf("%-8u %-8u %-8u%s\n", b, got, expect,
-                got == expect ? "" : "  <-- MISMATCH");
-    all_match &= got == expect;
-  }
-  std::printf("\n%s\n", all_match ? "Table I reproduced exactly."
-                                  : "Table I MISMATCH — check timings.");
-  return all_match ? 0 : 1;
+  return latdiv::bench::run_figure(
+      "tab1", latdiv::bench::Options::parse(argc, argv));
 }

@@ -7,33 +7,60 @@
 // roughly what factor, where crossovers fall) is the reproduction target
 // and each bench prints the paper's reference values alongside.
 //
-// Common CLI:
+// The figures with a named manifest (fig8, tab1, coord, device) run
+// through the src/exp sweep engine via run_figure(): parallel execution
+// with --jobs, structured JSON/CSV artifacts with --out/--csv, and
+// golden-regression checking with --check.  The remaining benches use
+// the serial run_point/mean_ipc helpers below.
+//
+// Common CLI (see Options::usage for the full list):
 //   --cycles N    simulated DRAM command-clock cycles per run
 //   --warmup N    warmup cycles excluded from IPC
 //   --seed N      workload seed
+//   --seeds N     independent trials averaged per point
 //   --quick       1/4-length run for smoke testing
 #pragma once
 
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "exp/point.hpp"
 #include "sim/simulator.hpp"
 
 namespace latdiv::bench {
+
+/// Hook to adjust the SimConfig before construction (ablation knobs).
+using ConfigHook = exp::ConfigHook;
 
 struct Options {
   Cycle cycles = 50'000;
   Cycle warmup = 5'000;
   std::uint64_t seed = 1;
   std::uint32_t seeds = 1;  ///< independent trials averaged per point
+  bool quick = false;       ///< 1/4-length smoke run
 
+  // Sweep-engine options (used by the manifest-backed benches; the
+  // serial benches accept and ignore them).
+  unsigned jobs = 1;        ///< executor threads
+  std::string filter;       ///< substring filter on sweep point ids
+  std::string out_json;     ///< write the JSON artifact here
+  std::string out_csv;      ///< write the CSV artifact here
+  std::string check;        ///< golden baseline to compare against
+  bool timings = false;     ///< include wall_ms in the JSON artifact
+  bool quiet = false;       ///< suppress per-point progress on stderr
+
+  /// Parse argv.  Prints usage and exits 2 on an unknown flag or a
+  /// malformed value; --help prints usage and exits 0.  --quick quarters
+  /// cycles/warmup regardless of flag order.
   static Options parse(int argc, char** argv);
+
+  /// The full usage string (every option documented).
+  static const char* usage();
 };
 
-/// Hook to adjust the SimConfig before construction (ablation knobs).
-using ConfigHook = std::function<void(SimConfig&)>;
+/// Run the named src/exp manifest with these options: parallel sweep,
+/// figure table, optional artifacts.  Returns the process exit code.
+int run_figure(const std::string& manifest, const Options& opts);
 
 /// Run one (workload, scheduler) point (first seed only).
 RunResult run_point(const WorkloadProfile& workload, SchedulerKind scheduler,
@@ -48,9 +75,6 @@ std::vector<std::vector<RunResult>> run_matrix(
     const std::vector<WorkloadProfile>& workloads,
     const std::vector<SchedulerKind>& schedulers, const Options& opts,
     const ConfigHook& hook = {});
-
-/// Geometric mean of a positive series.
-double geomean(const std::vector<double>& values);
 
 /// Print one table row of fixed-width cells.
 void print_row(const std::string& head, const std::vector<std::string>& cells,

@@ -1,30 +1,33 @@
 // Machine-readable single-run driver: run one (workload, scheduler)
-// configuration from the command line and print the full RunResult as
-// JSON on stdout.  Useful for scripting parameter sweeps around the
-// library without writing C++.
+// configuration from the command line and print a single-point
+// "latdiv-sweep/1" artifact on stdout — the same schema `latdiv-sweep`
+// writes for full sweeps, so downstream scripts parse exactly one
+// format.  Useful for scripting parameter sweeps around the library
+// without writing C++.
 //
 //   ./examples/run_json --workload spmv --scheduler WG-W
 //       --cycles 100000 --seed 3
 //   ./examples/run_json --list          # available workloads/schedulers
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "exp/executor.hpp"
+#include "exp/reporter.hpp"
 #include "sim/simulator.hpp"
 
 using namespace latdiv;
 
 namespace {
 
-const std::vector<std::pair<std::string, SchedulerKind>>& scheduler_table() {
-  static const std::vector<std::pair<std::string, SchedulerKind>> table = {
-      {"FCFS", SchedulerKind::kFcfs},     {"FR-FCFS", SchedulerKind::kFrFcfs},
-      {"GMC", SchedulerKind::kGmc},       {"WAFCFS", SchedulerKind::kWafcfs},
-      {"SBWAS", SchedulerKind::kSbwas},   {"WG", SchedulerKind::kWg},
-      {"WG-M", SchedulerKind::kWgM},      {"WG-Bw", SchedulerKind::kWgBw},
-      {"WG-W", SchedulerKind::kWgW},      {"WG-Sh", SchedulerKind::kWgShared},
-      {"ZLD", SchedulerKind::kZld},
+const std::vector<SchedulerKind>& all_schedulers() {
+  static const std::vector<SchedulerKind> table = {
+      SchedulerKind::kFcfs,  SchedulerKind::kFrFcfs,   SchedulerKind::kGmc,
+      SchedulerKind::kWafcfs, SchedulerKind::kSbwas,   SchedulerKind::kWg,
+      SchedulerKind::kWgM,   SchedulerKind::kWgBw,     SchedulerKind::kWgW,
+      SchedulerKind::kWgShared, SchedulerKind::kZld,
   };
   return table;
 }
@@ -35,15 +38,10 @@ void list_options() {
     for (const WorkloadProfile& w : suite) std::printf(" %s", w.name.c_str());
   }
   std::printf("\nschedulers:");
-  for (const auto& [name, kind] : scheduler_table()) {
-    std::printf(" %s", name.c_str());
-    (void)kind;
+  for (SchedulerKind kind : all_schedulers()) {
+    std::printf(" %s", to_string(kind));
   }
   std::printf("\n");
-}
-
-void emit(const char* key, double value, bool last = false) {
-  std::printf("  \"%s\": %.6g%s\n", key, value, last ? "" : ",");
 }
 
 }  // namespace
@@ -51,9 +49,10 @@ void emit(const char* key, double value, bool last = false) {
 int main(int argc, char** argv) {
   std::string workload = "bfs";
   std::string scheduler = "GMC";
-  SimConfig cfg;
-  cfg.max_cycles = 100'000;
-  cfg.warmup_cycles = 10'000;
+  bool timings = false;
+  exp::ExpPoint point;
+  point.cycles = 100'000;
+  point.warmup = 10'000;
 
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -67,26 +66,28 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scheduler") == 0) {
       scheduler = value();
     } else if (std::strcmp(argv[i], "--cycles") == 0) {
-      cfg.max_cycles = std::strtoull(value(), nullptr, 10);
-      cfg.warmup_cycles = cfg.max_cycles / 10;
+      point.cycles = std::strtoull(value(), nullptr, 10);
+      point.warmup = point.cycles / 10;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      cfg.seed = std::strtoull(value(), nullptr, 10);
+      point.seed = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--ddr3") == 0) {
-      cfg.dram = ddr3_1600_params();
+      point.hook = [](SimConfig& c) { c.dram = ddr3_1600_params(); };
+    } else if (std::strcmp(argv[i], "--timings") == 0) {
+      timings = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--workload W] [--scheduler S] [--cycles N] "
-                   "[--seed N] [--ddr3] [--list]\n",
+                   "[--seed N] [--ddr3] [--timings] [--list]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  cfg.workload = profile_by_name(workload);
+  point.workload = profile_by_name(workload);
   bool found = false;
-  for (const auto& [name, kind] : scheduler_table()) {
-    if (name == scheduler) {
-      cfg.scheduler = kind;
+  for (SchedulerKind kind : all_schedulers()) {
+    if (scheduler == to_string(kind)) {
+      point.scheduler = kind;
       found = true;
     }
   }
@@ -96,34 +97,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const RunResult r = Simulator(cfg).run();
-  std::printf("{\n");
-  std::printf("  \"workload\": \"%s\",\n", r.workload.c_str());
-  std::printf("  \"scheduler\": \"%s\",\n", r.scheduler.c_str());
-  emit("ipc", r.ipc);
-  emit("instructions", static_cast<double>(r.instructions));
-  emit("dram_cycles", static_cast<double>(r.dram_cycles));
-  emit("loads", r.loads);
-  emit("divergent_load_frac", r.divergent_load_frac);
-  emit("requests_per_load", r.requests_per_load);
-  emit("effective_mem_latency_ns", r.effective_mem_latency_ns);
-  emit("divergence_gap_ns", r.divergence_gap_ns);
-  emit("last_to_first_ratio", r.tracker.last_to_first_ratio.mean());
-  emit("channels_per_load", r.tracker.channels_per_load.mean());
-  emit("banks_per_load", r.tracker.banks_per_load.mean());
-  emit("same_row_frac", r.tracker.same_row_frac.mean());
-  emit("bandwidth_utilization", r.bandwidth_utilization);
-  emit("row_hit_rate", r.row_hit_rate);
-  emit("write_intensity", r.write_intensity);
-  emit("l1_hit_rate", r.l1_hit_rate);
-  emit("l2_hit_rate", r.l2_hit_rate);
-  emit("dram_reads", static_cast<double>(r.dram_reads));
-  emit("dram_writes", static_cast<double>(r.dram_writes));
-  emit("dram_activates", static_cast<double>(r.dram_activates));
-  emit("power_total_w", r.power.total());
-  emit("power_io_w", r.power.io);
-  emit("coord_messages", static_cast<double>(r.coord_messages));
-  emit("wg_merb_deferrals", static_cast<double>(r.wg_merb_deferrals), true);
-  std::printf("}\n");
-  return 0;
+  point.row = workload;
+  point.col = scheduler;
+  point.id = workload + "/" + scheduler + "/s" + std::to_string(point.seed);
+
+  exp::SweepSpec spec;
+  spec.name = "run_json";
+  spec.title = "single-point run";
+  exp::RunShape shape;
+  shape.cycles = point.cycles;
+  shape.warmup = point.warmup;
+  shape.base_seed = point.seed;
+
+  const exp::Artifact artifact =
+      exp::make_artifact(spec, shape, {exp::execute_point(point)});
+  std::fputs(exp::to_json(artifact, timings).c_str(), stdout);
+  return exp::failed_points(artifact) == 0 ? 0 : 1;
 }

@@ -1,8 +1,16 @@
 #include "common/stats.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace latdiv {
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
 
 std::string percent(double fraction) {
   char buf[32];

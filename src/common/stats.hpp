@@ -90,6 +90,9 @@ class Histogram {
   return den == 0.0 ? 0.0 : num / den;
 }
 
+/// Geometric mean of a positive series (0.0 for an empty one).
+[[nodiscard]] double geomean(std::span<const double> values);
+
 /// Render a fraction as a percentage string with one decimal, e.g. "12.3%".
 [[nodiscard]] std::string percent(double fraction);
 

@@ -1,0 +1,109 @@
+#include "exp/driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace latdiv::exp {
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(out);
+}
+
+bool read_file(const std::string& path, std::string& contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  contents = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int run_manifest(const std::string& name, const SweepRunArgs& args) {
+  Manifest manifest;
+  try {
+    manifest = make_manifest(name, args.opts);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "latdiv-sweep: %s (try `latdiv-sweep list`)\n",
+                 e.what());
+    return 2;
+  }
+  if (manifest.grid.empty()) {
+    std::fprintf(stderr,
+                 "latdiv-sweep: filter '%s' matched no points of '%s'\n",
+                 args.opts.filter.c_str(), name.c_str());
+    return 2;
+  }
+
+  const ProgressFn progress =
+      args.progress
+          ? ProgressFn([](std::size_t done, std::size_t total,
+                          const PointResult& r) {
+              std::fprintf(stderr, "[%zu/%zu] %-32s %s (%.0f ms)\n", done,
+                           total, r.id.c_str(), r.ok ? "ok" : "FAILED",
+                           r.wall_ms);
+            })
+          : ProgressFn{};
+
+  // Sweep timing is progress reporting only, never artifact content.
+  const auto start = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  std::vector<PointResult> results =
+      run_grid(manifest.grid, args.opts.jobs, progress);
+  const double wall_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start)  // lint: wall-clock-ok
+          .count();
+
+  const Artifact artifact =
+      make_artifact(manifest.spec, args.opts.shape(), std::move(results));
+  print_table(artifact);
+  std::fprintf(stderr, "ran %zu point(s) in %.2f s (jobs=%u)\n",
+               artifact.points.size(), wall_s, args.opts.jobs);
+
+  if (!args.out_json.empty() &&
+      !write_file(args.out_json, to_json(artifact, args.timings))) {
+    std::fprintf(stderr, "latdiv-sweep: cannot write '%s'\n",
+                 args.out_json.c_str());
+    return 2;
+  }
+  if (!args.out_csv.empty() &&
+      !write_file(args.out_csv, to_csv(artifact))) {
+    std::fprintf(stderr, "latdiv-sweep: cannot write '%s'\n",
+                 args.out_csv.c_str());
+    return 2;
+  }
+
+  int rc = failed_points(artifact) > 0 ? 1 : 0;
+  if (!args.check.empty()) {
+    std::string golden_text;
+    if (!read_file(args.check, golden_text)) {
+      std::fprintf(stderr, "latdiv-sweep: cannot read baseline '%s'\n",
+                   args.check.c_str());
+      return 2;
+    }
+    Artifact golden;
+    try {
+      golden = artifact_from_json(golden_text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "latdiv-sweep: bad baseline '%s': %s\n",
+                   args.check.c_str(), e.what());
+      return 2;
+    }
+    const GoldenReport report =
+        check_golden(artifact, golden, args.golden);
+    if (!print_golden_report(report, stdout)) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace latdiv::exp

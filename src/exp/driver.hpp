@@ -1,0 +1,32 @@
+// End-to-end sweep driver: manifest -> executor -> artifacts -> console.
+//
+// This is the single code path behind both the `latdiv-sweep` CLI and
+// the re-plumbed per-figure bench binaries; it owns progress reporting,
+// artifact writing and the golden-regression hook so every entry point
+// behaves identically.
+#pragma once
+
+#include <string>
+
+#include "exp/golden.hpp"
+#include "exp/manifest.hpp"
+
+namespace latdiv::exp {
+
+struct SweepRunArgs {
+  SweepOptions opts;
+  std::string out_json;  ///< write the JSON artifact here ("" = skip)
+  std::string out_csv;   ///< write the CSV artifact here ("" = skip)
+  std::string check;     ///< golden baseline to compare against ("" = skip)
+  GoldenOptions golden;  ///< tolerances for --check
+  bool timings = false;  ///< include wall_ms in the JSON (non-deterministic)
+  bool progress = true;  ///< per-point progress lines on stderr
+};
+
+/// Run the named manifest and print its figure table.  Returns the
+/// process exit code: 0 on success, 1 when any point failed or the
+/// golden check found regressions, 2 on setup errors (unknown manifest,
+/// empty filtered grid, unwritable output).
+int run_manifest(const std::string& name, const SweepRunArgs& args);
+
+}  // namespace latdiv::exp

@@ -1,0 +1,141 @@
+#include "exp/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulator.hpp"
+
+namespace latdiv::exp {
+
+MetricMap metrics_from(const RunResult& r) {
+  MetricMap m;
+  // Performance.
+  m["ipc"] = r.ipc;
+  m["instr_per_usec"] = r.instr_per_usec;
+  m["instructions"] = static_cast<double>(r.instructions);
+  m["core_cycles"] = static_cast<double>(r.core_cycles);
+  m["dram_cycles"] = static_cast<double>(r.dram_cycles);
+  // Coalescing (Fig. 2).
+  m["loads"] = r.loads;
+  m["divergent_load_frac"] = r.divergent_load_frac;
+  m["requests_per_load"] = r.requests_per_load;
+  // Divergence & latency (Figs. 3, 9, 10).
+  m["effective_mem_latency_ns"] = r.effective_mem_latency_ns;
+  m["first_req_latency_ns"] = r.first_req_latency_ns;
+  m["divergence_gap_ns"] = r.divergence_gap_ns;
+  m["last_to_first_ratio"] = r.last_to_first_ratio;
+  m["mcs_per_warp"] = r.mcs_per_warp;
+  m["banks_per_warp"] = r.banks_per_warp;
+  m["same_row_frac"] = r.same_row_frac;
+  // DRAM-side (Figs. 11, 12; §VI-B).
+  m["bandwidth_utilization"] = r.bandwidth_utilization;
+  m["row_hit_rate"] = r.row_hit_rate;
+  m["write_intensity"] = r.write_intensity;
+  m["drain_small_group_frac"] = r.drain_small_group_frac;
+  m["dram_reads"] = static_cast<double>(r.dram_reads);
+  m["dram_writes"] = static_cast<double>(r.dram_writes);
+  m["dram_activates"] = static_cast<double>(r.dram_activates);
+  m["power_total_w"] = r.power.total();
+  m["power_io_w"] = r.power.io;
+  // Caches.
+  m["l1_hit_rate"] = r.l1_hit_rate;
+  m["l2_hit_rate"] = r.l2_hit_rate;
+  // Back-pressure.
+  m["sm_issue_stall_mshr"] = static_cast<double>(r.sm_issue_stall_mshr);
+  m["sm_no_ready_warp_cycles"] =
+      static_cast<double>(r.sm_no_ready_warp_cycles);
+  m["icnt_inject_stalls"] = static_cast<double>(r.icnt_inject_stalls);
+  m["mc_read_queueing_cycles"] = r.mc_read_queueing_cycles;
+  m["mc_read_service_cycles"] = r.mc_read_service_cycles;
+  m["mc_drains_started"] = static_cast<double>(r.mc_drains_started);
+  // Policy-internal counters.
+  m["wg_groups_selected"] = static_cast<double>(r.wg_groups_selected);
+  m["wg_fallback_selections"] =
+      static_cast<double>(r.wg_fallback_selections);
+  m["wg_merb_deferrals"] = static_cast<double>(r.wg_merb_deferrals);
+  m["wg_writeaware_selections"] =
+      static_cast<double>(r.wg_writeaware_selections);
+  m["wg_shared_boosts"] = static_cast<double>(r.wg_shared_boosts);
+  m["coord_messages"] = static_cast<double>(r.coord_messages);
+  return m;
+}
+
+PointResult execute_point(const ExpPoint& p) {
+  PointResult res;
+  res.id = p.id;
+  res.row = p.row;
+  res.col = p.col;
+  res.seed = p.seed;
+  // wall_ms is a measurement, excluded from deterministic artifacts.
+  const auto start = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  try {
+    if (p.analytic) {
+      res.metrics = p.analytic();
+    } else {
+      res.workload = p.workload.name;
+      SimConfig cfg;
+      cfg.workload = p.workload;
+      cfg.scheduler = p.scheduler;
+      cfg.max_cycles = p.cycles;
+      cfg.warmup_cycles = p.warmup;
+      cfg.seed = p.seed;
+      if (p.hook) p.hook(cfg);
+      const RunResult r = Simulator(cfg).run();
+      res.scheduler = r.scheduler;
+      res.metrics = metrics_from(r);
+    }
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = e.what();
+    res.metrics.clear();
+  } catch (...) {
+    res.ok = false;
+    res.error = "unknown exception";
+    res.metrics.clear();
+  }
+  res.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)  // lint: wall-clock-ok
+          .count();
+  return res;
+}
+
+std::vector<PointResult> run_grid(const ExpGrid& grid, unsigned jobs,
+                                  const ProgressFn& progress) {
+  const std::vector<ExpPoint>& points = grid.points();
+  std::vector<PointResult> results(points.size());
+  if (points.empty()) return results;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::size_t done = 0;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      results[i] = execute_point(points[i]);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++done;  // monotonic: one increment per completed point
+        if (progress) progress(done, points.size(), results[i]);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  const unsigned n = std::min<std::size_t>(jobs, points.size());
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace latdiv::exp

@@ -1,0 +1,105 @@
+#include "exp/golden.hpp"
+
+#include <cmath>
+
+namespace latdiv::exp {
+
+namespace {
+
+void issue(GoldenReport& report, std::string cell, std::string metric,
+           std::string what, double golden = 0.0, double current = 0.0) {
+  report.issues.push_back({std::move(cell), std::move(metric),
+                           std::move(what), golden, current});
+}
+
+const CellAggregate* find_cell(const Artifact& a, const std::string& row,
+                               const std::string& col) {
+  for (const CellAggregate& c : a.cells) {
+    if (c.row == row && c.col == col) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+GoldenReport check_golden(const Artifact& current, const Artifact& golden,
+                          const GoldenOptions& opts) {
+  GoldenReport report;
+
+  if (current.spec.name != golden.spec.name) {
+    issue(report, "", "",
+          "sweep mismatch: current '" + current.spec.name + "' vs golden '" +
+              golden.spec.name + "'");
+  }
+  if (current.shape.cycles != golden.shape.cycles ||
+      current.shape.warmup != golden.shape.warmup ||
+      current.shape.base_seed != golden.shape.base_seed ||
+      current.shape.seeds != golden.shape.seeds) {
+    issue(report, "", "",
+          "run shape differs from the baseline (cycles/warmup/seed/seeds) — "
+          "not comparable");
+  }
+  for (const PointResult& p : current.points) {
+    if (!p.ok) issue(report, p.id, "", "point failed: " + p.error);
+  }
+
+  for (const CellAggregate& g : golden.cells) {
+    const std::string cell_name = g.row + "/" + g.col;
+    const CellAggregate* c = find_cell(current, g.row, g.col);
+    if (c == nullptr) {
+      issue(report, cell_name, "", "cell missing from current artifact");
+      continue;
+    }
+    ++report.cells_checked;
+    if (c->n != g.n) {
+      issue(report, cell_name, "",
+            "aggregated point count differs", g.n, c->n);
+    }
+    for (const auto& [metric, gm] : g.metrics) {
+      const auto it = c->metrics.find(metric);
+      if (it == c->metrics.end()) {
+        issue(report, cell_name, metric, "metric missing from current cell",
+              gm.mean, 0.0);
+        continue;
+      }
+      ++report.metrics_checked;
+      const auto tol_it = opts.per_metric.find(metric);
+      const GoldenTolerance tol =
+          tol_it == opts.per_metric.end() ? opts.default_tol : tol_it->second;
+      const double drift = std::fabs(it->second.mean - gm.mean);
+      const double allowed =
+          std::max(tol.abs, tol.rel * std::fabs(gm.mean));
+      if (drift > allowed) {
+        issue(report, cell_name, metric, "drift beyond tolerance", gm.mean,
+              it->second.mean);
+      }
+    }
+  }
+  return report;
+}
+
+bool print_golden_report(const GoldenReport& report, std::FILE* out) {
+  if (report.ok()) {
+    std::fprintf(out,
+                 "golden check OK: %zu cell(s), %zu metric(s) within "
+                 "tolerance\n",
+                 report.cells_checked, report.metrics_checked);
+    return true;
+  }
+  std::fprintf(out, "golden check FAILED: %zu issue(s)\n",
+               report.issues.size());
+  for (const GoldenIssue& i : report.issues) {
+    if (i.metric.empty()) {
+      std::fprintf(out, "  [%s] %s\n",
+                   i.cell.empty() ? "artifact" : i.cell.c_str(),
+                   i.what.c_str());
+    } else {
+      std::fprintf(out, "  [%s] %s: %s (golden %.6g, current %.6g)\n",
+                   i.cell.c_str(), i.metric.c_str(), i.what.c_str(), i.golden,
+                   i.current);
+    }
+  }
+  return false;
+}
+
+}  // namespace latdiv::exp

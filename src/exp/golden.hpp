@@ -1,0 +1,61 @@
+// Golden-figure regression checking.
+//
+// Compares a freshly produced sweep artifact against a committed baseline
+// ("golden") artifact cell by cell.  The committed files live under
+// bench/golden/; CI regenerates the quick fig8 sweep on every push and
+// fails if any cell metric drifts outside its tolerance — turning the
+// paper's figures into regression tests for the simulator itself.
+//
+// Tolerances are per metric with a default fallback; a metric passes when
+//   |current - golden| <= max(abs_tol, rel_tol * |golden|).
+// Exact-count metrics can be pinned with rel 0; noisy means get a few
+// percent of slack (libm and FMA differences across toolchains perturb
+// double aggregation in the last ulps, never the simulated cycle counts).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/reporter.hpp"
+
+namespace latdiv::exp {
+
+struct GoldenTolerance {
+  double rel = 0.02;
+  double abs = 1e-9;
+};
+
+struct GoldenOptions {
+  GoldenTolerance default_tol;
+  std::map<std::string, GoldenTolerance> per_metric;
+};
+
+struct GoldenIssue {
+  std::string cell;    ///< "row/col" ("" for artifact-level issues)
+  std::string metric;  ///< "" for structural issues
+  std::string what;    ///< human-readable description
+  double golden = 0.0;
+  double current = 0.0;
+};
+
+struct GoldenReport {
+  std::vector<GoldenIssue> issues;
+  std::size_t cells_checked = 0;
+  std::size_t metrics_checked = 0;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+};
+
+/// Check `current` against `golden`.  Structural mismatches (different
+/// sweep, different shape, missing cells, failed points) and metric
+/// drifts beyond tolerance all become issues.  Metrics present only in
+/// `current` are ignored (the schema may grow).
+[[nodiscard]] GoldenReport check_golden(const Artifact& current,
+                                        const Artifact& golden,
+                                        const GoldenOptions& opts = {});
+
+/// Render a report for the console; returns report.ok().
+bool print_golden_report(const GoldenReport& report, std::FILE* out);
+
+}  // namespace latdiv::exp

@@ -1,0 +1,57 @@
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "exp/point.hpp"
+
+namespace latdiv::exp {
+
+ExpGrid& ExpGrid::add(ExpPoint p) {
+  LATDIV_ASSERT(!p.id.empty(), "ExpPoint needs an id");
+  for (const ExpPoint& existing : points_) {
+    LATDIV_ASSERT(existing.id != p.id, "duplicate ExpPoint id");
+  }
+  points_.push_back(std::move(p));
+  return *this;
+}
+
+ExpGrid& ExpGrid::add_column(const std::string& col,
+                             const std::vector<WorkloadProfile>& workloads,
+                             SchedulerKind scheduler, const RunShape& shape,
+                             const ConfigHook& hook) {
+  LATDIV_ASSERT(shape.seeds > 0, "a cell needs at least one seed");
+  for (const WorkloadProfile& w : workloads) {
+    for (std::uint32_t t = 0; t < shape.seeds; ++t) {
+      ExpPoint p;
+      p.seed = shape.base_seed + t;
+      p.id = w.name + "/" + col + "/s" + std::to_string(p.seed);
+      p.row = w.name;
+      p.col = col;
+      p.workload = w;
+      p.scheduler = scheduler;
+      p.cycles = shape.cycles;
+      p.warmup = shape.warmup;
+      p.hook = hook;
+      add(std::move(p));
+    }
+  }
+  return *this;
+}
+
+ExpGrid& ExpGrid::add_matrix(const std::vector<WorkloadProfile>& workloads,
+                             const std::vector<SchedulerKind>& schedulers,
+                             const RunShape& shape, const ConfigHook& hook) {
+  for (const SchedulerKind s : schedulers) {
+    add_column(to_string(s), workloads, s, shape, hook);
+  }
+  return *this;
+}
+
+ExpGrid& ExpGrid::keep_matching(const std::string& substr) {
+  if (substr.empty()) return *this;
+  std::erase_if(points_, [&](const ExpPoint& p) {
+    return p.id.find(substr) == std::string::npos;
+  });
+  return *this;
+}
+
+}  // namespace latdiv::exp

@@ -1,0 +1,93 @@
+// Experiment job model.
+//
+// An ExpPoint is one independent unit of work in a sweep: either a full
+// Simulator run (workload x scheduler x seed, plus an optional SimConfig
+// override hook for ablation knobs) or an analytic evaluation (Table I's
+// MERB values need no simulation).  An ExpGrid is an ordered list of
+// points; builders expand the cross-products the paper's figures are made
+// of.  Grid order is the canonical order: executors may complete points
+// in any order on any number of threads, but every artifact is emitted in
+// grid order, which is what makes sweep output byte-deterministic.
+//
+// Presentation metadata rides on each point: `row` and `col` name the
+// cell of the figure the point belongs to.  All seeds of one (row, col)
+// pair collapse into a single reported cell (mean/stddev).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "workload/profile.hpp"
+
+namespace latdiv::exp {
+
+/// Named scalar results of one point, sorted by key (deterministic).
+using MetricMap = std::map<std::string, double>;
+
+/// Adjusts the SimConfig before Simulator construction (ablation knobs).
+/// Must be safe to invoke concurrently from multiple executor threads.
+using ConfigHook = std::function<void(SimConfig&)>;
+
+/// Computes a point's metrics without a simulation.  Throwing marks the
+/// point failed (the same isolation contract as a simulated point).
+using AnalyticFn = std::function<MetricMap()>;
+
+struct ExpPoint {
+  std::string id;   ///< unique within a grid; stable across runs
+  std::string row;  ///< figure row (usually the workload)
+  std::string col;  ///< figure column (scheduler or ablation variant)
+
+  WorkloadProfile workload;  ///< ignored for analytic points
+  SchedulerKind scheduler = SchedulerKind::kGmc;
+  std::uint64_t seed = 1;
+  Cycle cycles = 50'000;
+  Cycle warmup = 5'000;
+  ConfigHook hook;      ///< optional SimConfig override
+  AnalyticFn analytic;  ///< when set, evaluated instead of a Simulator
+};
+
+/// Run-length knobs shared by every point a grid builder expands.
+struct RunShape {
+  Cycle cycles = 50'000;
+  Cycle warmup = 5'000;
+  std::uint64_t base_seed = 1;  ///< seed of trial 0; trial t uses base + t
+  std::uint32_t seeds = 1;      ///< independent trials per (row, col) cell
+};
+
+class ExpGrid {
+ public:
+  /// Append one point; its id must be unique within the grid.
+  ExpGrid& add(ExpPoint p);
+
+  /// One figure column of simulated points: every workload x every seed,
+  /// all under `scheduler` (+ optional hook).  Point ids are
+  /// "<row>/<col>/s<seed>".
+  ExpGrid& add_column(const std::string& col,
+                      const std::vector<WorkloadProfile>& workloads,
+                      SchedulerKind scheduler, const RunShape& shape,
+                      const ConfigHook& hook = {});
+
+  /// Cross-product workloads x schedulers x seeds; each scheduler's
+  /// display name becomes its column.
+  ExpGrid& add_matrix(const std::vector<WorkloadProfile>& workloads,
+                      const std::vector<SchedulerKind>& schedulers,
+                      const RunShape& shape, const ConfigHook& hook = {});
+
+  /// Keep only points whose id contains `substr` (empty keeps all).
+  ExpGrid& keep_matching(const std::string& substr);
+
+  [[nodiscard]] const std::vector<ExpPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+ private:
+  std::vector<ExpPoint> points_;
+};
+
+}  // namespace latdiv::exp

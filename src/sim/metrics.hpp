@@ -29,6 +29,17 @@ struct RunResult {
   TrackerSummary tracker;
   double effective_mem_latency_ns = 0.0;  ///< issue -> last DRAM completion
   double divergence_gap_ns = 0.0;         ///< first -> last DRAM completion
+  // Scalar per-warp divergence means, surfaced so reporters can emit them
+  // without reaching into the tracker accumulators (Fig. 3 columns).
+  double first_req_latency_ns = 0.0;  ///< issue -> first DRAM completion
+  double last_to_first_ratio = 0.0;   ///< Fig. 3 divergence ratio
+  double mcs_per_warp = 0.0;          ///< memory controllers per warp load
+  double banks_per_warp = 0.0;        ///< distinct (channel,bank) per load
+  double same_row_frac = 0.0;         ///< §III-A "~30% share a row"
+  /// Instructions per microsecond of wall time — IPC rebased onto the
+  /// device-independent core clock so different DRAM devices compare on
+  /// the same time base (the device-ablation bench's "Mi/s" column).
+  double instr_per_usec = 0.0;
 
   // DRAM-side (Figs. 11, 12; §VI-B).
   double bandwidth_utilization = 0.0;  ///< data-bus busy fraction
@@ -43,6 +54,14 @@ struct RunResult {
   // Cache behaviour.
   double l1_hit_rate = 0.0;
   double l2_hit_rate = 0.0;
+
+  // Pipeline back-pressure (previously visible only via component stats).
+  std::uint64_t sm_issue_stall_mshr = 0;     ///< loads blocked on L1 MSHRs
+  std::uint64_t sm_no_ready_warp_cycles = 0; ///< SM cycles with no ready warp
+  std::uint64_t icnt_inject_stalls = 0;      ///< SM found its xbar queue full
+  double mc_read_queueing_cycles = 0.0;      ///< mean arrival -> CAS issue
+  double mc_read_service_cycles = 0.0;       ///< mean arrival -> data done
+  std::uint64_t mc_drains_started = 0;       ///< write-drain episodes
 
   // Policy-internal counters (WG family; zero otherwise).
   std::uint64_t wg_groups_selected = 0;

@@ -222,7 +222,10 @@ RunResult Simulator::collect() const {
     co.store_requests += s.store_requests;
     l1_hits += sm->l1().stats().hits;
     l1_misses += sm->l1().stats().misses;
+    r.sm_issue_stall_mshr += sm->stats().issue_stall_mshr;
+    r.sm_no_ready_warp_cycles += sm->stats().no_ready_warp_cycles;
   }
+  r.icnt_inject_stalls = xbar_.stats().inject_stalls;
   r.loads = static_cast<double>(co.loads);
   r.divergent_load_frac = co.divergent_frac();
   r.requests_per_load = co.requests_per_load();
@@ -233,12 +236,24 @@ RunResult Simulator::collect() const {
   r.effective_mem_latency_ns =
       r.tracker.last_req_latency.mean() * cfg_.dram.tck_ns;
   r.divergence_gap_ns = r.tracker.divergence_gap.mean() * cfg_.dram.tck_ns;
+  r.first_req_latency_ns =
+      r.tracker.first_req_latency.mean() * cfg_.dram.tck_ns;
+  r.last_to_first_ratio = r.tracker.last_to_first_ratio.mean();
+  r.mcs_per_warp = r.tracker.channels_per_load.mean();
+  r.banks_per_warp = r.tracker.banks_per_load.mean();
+  r.same_row_frac = r.tracker.same_row_frac.mean();
+  // Core clock in GHz: one core cycle every core_clock_ratio command-clock
+  // ticks of tck_ns each.  IPC * GHz = instructions per ns; x1000 -> /us.
+  const double core_ghz =
+      1.0 / (cfg_.dram.tck_ns * static_cast<double>(cfg_.sm.core_clock_ratio));
+  r.instr_per_usec = r.ipc * core_ghz * 1000.0;
 
   // DRAM-side aggregates across channels.
   std::uint64_t busy = 0, acts = 0, reads = 0, writes = 0, refs = 0;
   std::uint64_t idle = 0;
   std::uint64_t l2_hits = 0, l2_misses = 0;
   std::uint64_t drain_groups = 0, drain_small = 0;
+  Accumulator mc_queueing, mc_service;
   for (const auto& part : partitions_) {
     const ChannelStats& cs = part->mc().channel().stats();
     busy += cs.data_bus_busy_cycles;
@@ -251,6 +266,9 @@ RunResult Simulator::collect() const {
     l2_misses += part->l2().stats().misses;
     drain_groups += part->mc().stats().drain_stalled_groups;
     drain_small += part->mc().stats().drain_stalled_small_groups;
+    mc_queueing.merge(part->mc().stats().read_queueing_cycles);
+    mc_service.merge(part->mc().stats().read_service_cycles);
+    r.mc_drains_started += part->mc().stats().drains_started;
 
     if (auto* wg = dynamic_cast<const WgPolicy*>(
             &const_cast<Partition&>(*part).mc().policy())) {
@@ -275,6 +293,8 @@ RunResult Simulator::collect() const {
   r.dram_activates = acts;
   r.l2_hit_rate = safe_ratio(static_cast<double>(l2_hits),
                              static_cast<double>(l2_hits + l2_misses));
+  r.mc_read_queueing_cycles = mc_queueing.mean();
+  r.mc_read_service_cycles = mc_service.mean();
   r.coord_messages = coord_->messages_sent();
 
   // Average per-channel power (scale the merged counters down).

@@ -1,0 +1,130 @@
+// Sweep executor: deterministic artifacts across thread counts, failure
+// isolation, monotonic progress reporting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/executor.hpp"
+#include "exp/reporter.hpp"
+#include "workload/profile.hpp"
+
+using namespace latdiv;
+using namespace latdiv::exp;
+
+namespace {
+
+// Tiny but real simulations: shrunken machine, protocol checkers on.
+ConfigHook tiny() {
+  return [](SimConfig& c) {
+    c.shrink_for_tests();
+    c.max_cycles = 3'000;
+    c.warmup_cycles = 300;
+  };
+}
+
+ExpGrid small_grid(std::uint32_t seeds = 1) {
+  RunShape shape;
+  shape.seeds = seeds;
+  ExpGrid grid;
+  grid.add_matrix({profile_by_name("bfs"), profile_by_name("spmv")},
+                  {SchedulerKind::kGmc, SchedulerKind::kWgW}, shape, tiny());
+  return grid;
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.primary_metric = "ipc";
+  spec.baseline_col = "GMC";
+  return spec;
+}
+
+}  // namespace
+
+TEST(ExpExecutor, SimulatedPointProducesMetrics) {
+  ExpGrid grid = small_grid();
+  const PointResult res = execute_point(grid.points()[0]);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.id, "bfs/GMC/s1");
+  EXPECT_EQ(res.workload, "bfs");
+  EXPECT_EQ(res.scheduler, "GMC");
+  EXPECT_GT(res.metrics.at("ipc"), 0.0);
+  EXPECT_GT(res.metrics.at("instructions"), 0.0);
+  EXPECT_GE(res.wall_ms, 0.0);
+}
+
+TEST(ExpExecutor, AnalyticPointNeedsNoSimulator) {
+  ExpPoint p;
+  p.id = "banks=4/MERB";
+  p.row = "banks=4";
+  p.col = "MERB";
+  p.analytic = [] { return MetricMap{{"merb", 7.0}}; };
+  const PointResult res = execute_point(p);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.workload.empty());
+  EXPECT_DOUBLE_EQ(res.metrics.at("merb"), 7.0);
+}
+
+TEST(ExpExecutor, ThrowingPointIsIsolated) {
+  ExpGrid grid = small_grid();
+  // Poison the second point's hook; siblings must be unaffected.
+  ExpPoint poisoned = grid.points()[1];
+  poisoned.id = "poisoned/GMC/s1";
+  poisoned.hook = [](SimConfig&) {
+    throw std::runtime_error("bad ablation knob");
+  };
+  ExpGrid mixed;
+  mixed.add(grid.points()[0]).add(poisoned).add(grid.points()[2]);
+
+  const std::vector<PointResult> results = run_grid(mixed, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error, "bad ablation knob");
+  EXPECT_TRUE(results[1].metrics.empty());
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+}
+
+TEST(ExpExecutor, ProgressIsMonotonicAndComplete) {
+  const ExpGrid grid = small_grid();
+  std::vector<std::size_t> done_seq;
+  const std::vector<PointResult> results =
+      run_grid(grid, 4, [&](std::size_t done, std::size_t total,
+                            const PointResult& res) {
+        EXPECT_EQ(total, grid.size());
+        EXPECT_FALSE(res.id.empty());
+        done_seq.push_back(done);
+      });
+  ASSERT_EQ(done_seq.size(), grid.size());
+  for (std::size_t i = 0; i < done_seq.size(); ++i) {
+    EXPECT_EQ(done_seq[i], i + 1);  // strictly increasing 1..total
+  }
+  for (const PointResult& r : results) EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ExpExecutor, ResultsArriveInGridOrderRegardlessOfJobs) {
+  const ExpGrid grid = small_grid();
+  const std::vector<PointResult> serial = run_grid(grid, 1);
+  const std::vector<PointResult> threaded = run_grid(grid, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].id, grid.points()[i].id);
+    EXPECT_EQ(threaded[i].id, serial[i].id);
+  }
+}
+
+TEST(ExpExecutor, ArtifactBytesIdenticalAcrossThreadCounts) {
+  const ExpGrid grid = small_grid(2);
+  const RunShape shape{.seeds = 2};
+
+  const Artifact serial =
+      make_artifact(small_spec(), shape, run_grid(grid, 1));
+  const Artifact threaded =
+      make_artifact(small_spec(), shape, run_grid(grid, 8));
+
+  // The determinism contract: byte-identical JSON for any --jobs value.
+  EXPECT_EQ(to_json(serial), to_json(threaded));
+  EXPECT_EQ(to_csv(serial), to_csv(threaded));
+}

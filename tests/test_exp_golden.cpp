@@ -1,0 +1,147 @@
+// Golden-regression checker: pass/fail, tolerance arithmetic, structural
+// mismatches.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/golden.hpp"
+
+using namespace latdiv::exp;
+
+namespace {
+
+PointResult ok_point(const std::string& row, const std::string& col,
+                     double ipc) {
+  PointResult p;
+  p.id = row + "/" + col + "/s1";
+  p.row = row;
+  p.col = col;
+  p.workload = row;
+  p.scheduler = col;
+  p.seed = 1;
+  p.ok = true;
+  p.metrics["ipc"] = ipc;
+  p.metrics["dram_reads"] = 1000.0;
+  return p;
+}
+
+Artifact reference_artifact() {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.primary_metric = "ipc";
+  spec.baseline_col = "base";
+  return make_artifact(spec, RunShape{},
+                       {ok_point("w1", "base", 2.0), ok_point("w1", "opt", 3.0),
+                        ok_point("w2", "base", 1.0),
+                        ok_point("w2", "opt", 1.5)});
+}
+
+/// reference_artifact() with one cell's ipc scaled by `factor`.
+Artifact drifted_artifact(double factor) {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.primary_metric = "ipc";
+  spec.baseline_col = "base";
+  return make_artifact(spec, RunShape{},
+                       {ok_point("w1", "base", 2.0),
+                        ok_point("w1", "opt", 3.0 * factor),
+                        ok_point("w2", "base", 1.0),
+                        ok_point("w2", "opt", 1.5)});
+}
+
+}  // namespace
+
+TEST(ExpGolden, IdenticalArtifactsPass) {
+  const GoldenReport report =
+      check_golden(reference_artifact(), reference_artifact());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cells_checked, 4u);
+  EXPECT_EQ(report.metrics_checked, 8u);  // 4 cells x {ipc, dram_reads}
+}
+
+TEST(ExpGolden, DriftWithinToleranceIsIgnored) {
+  // Default tolerance is 2% relative; 1% drift passes.
+  EXPECT_TRUE(check_golden(drifted_artifact(1.01), reference_artifact()).ok());
+}
+
+TEST(ExpGolden, DriftBeyondToleranceFails) {
+  const GoldenReport report =
+      check_golden(drifted_artifact(1.10), reference_artifact());
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].cell, "w1/opt");
+  EXPECT_EQ(report.issues[0].metric, "ipc");
+  EXPECT_DOUBLE_EQ(report.issues[0].golden, 3.0);
+  EXPECT_DOUBLE_EQ(report.issues[0].current, 3.3);
+}
+
+TEST(ExpGolden, PerMetricToleranceOverridesDefault) {
+  GoldenOptions opts;
+  opts.per_metric["ipc"] = {.rel = 0.25, .abs = 1e-9};
+  EXPECT_TRUE(
+      check_golden(drifted_artifact(1.10), reference_artifact(), opts).ok());
+
+  // And a pinned metric (rel 0) catches any drift at all.
+  opts.per_metric["ipc"] = {.rel = 0.0, .abs = 1e-9};
+  EXPECT_FALSE(
+      check_golden(drifted_artifact(1.001), reference_artifact(), opts).ok());
+}
+
+TEST(ExpGolden, AbsoluteToleranceGuardsNearZeroMetrics) {
+  Artifact golden = reference_artifact();
+  Artifact current = reference_artifact();
+  golden.cells[0].metrics["write_intensity"] = {.mean = 0.0, .stddev = 0.0};
+  current.cells[0].metrics["write_intensity"] = {.mean = 5e-10, .stddev = 0.0};
+  EXPECT_TRUE(check_golden(current, golden).ok());  // within abs=1e-9
+  current.cells[0].metrics["write_intensity"].mean = 1e-3;
+  EXPECT_FALSE(check_golden(current, golden).ok());
+}
+
+TEST(ExpGolden, StructuralMismatchesAreIssues) {
+  // Different sweep name.
+  Artifact other = reference_artifact();
+  other.spec.name = "different";
+  EXPECT_FALSE(check_golden(other, reference_artifact()).ok());
+
+  // Different run shape.
+  Artifact shaped = reference_artifact();
+  shaped.shape.cycles += 1;
+  EXPECT_FALSE(check_golden(shaped, reference_artifact()).ok());
+
+  // A golden cell missing from the current artifact.
+  Artifact golden = reference_artifact();
+  CellAggregate extra;
+  extra.row = "w9";
+  extra.col = "opt";
+  extra.n = 1;
+  golden.cells.push_back(extra);
+  const GoldenReport missing = check_golden(reference_artifact(), golden);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.issues[0].cell, "w9/opt");
+
+  // Extra metrics in current are fine (the schema may grow).
+  Artifact grown = reference_artifact();
+  for (CellAggregate& c : grown.cells) {
+    c.metrics["brand_new_metric"] = {.mean = 1.0, .stddev = 0.0};
+  }
+  EXPECT_TRUE(check_golden(grown, reference_artifact()).ok());
+}
+
+TEST(ExpGolden, FailedCurrentPointsAreRegressions) {
+  Artifact golden = reference_artifact();
+  PointResult bad;
+  bad.id = "w1/base/s1";
+  bad.row = "w1";
+  bad.col = "base";
+  bad.ok = false;
+  bad.error = "boom";
+  Artifact current = make_artifact(
+      golden.spec, RunShape{},
+      {bad, ok_point("w1", "opt", 3.0), ok_point("w2", "base", 1.0),
+       ok_point("w2", "opt", 1.5)});
+  const GoldenReport report = check_golden(current, golden);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].cell, "w1/base/s1");
+  EXPECT_NE(report.issues[0].what.find("boom"), std::string::npos);
+}

@@ -1,0 +1,90 @@
+// ExpGrid builders: cross-product expansion, id scheme, filtering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "exp/point.hpp"
+#include "workload/profile.hpp"
+
+using namespace latdiv;
+using namespace latdiv::exp;
+
+namespace {
+
+std::vector<WorkloadProfile> two_workloads() {
+  return {profile_by_name("bfs"), profile_by_name("spmv")};
+}
+
+}  // namespace
+
+TEST(ExpGrid, AddColumnExpandsWorkloadsTimesSeeds) {
+  RunShape shape;
+  shape.seeds = 3;
+  shape.base_seed = 10;
+  ExpGrid grid;
+  grid.add_column("GMC", two_workloads(), SchedulerKind::kGmc, shape);
+  ASSERT_EQ(grid.size(), 2u * 3u);
+
+  // Ids follow "<row>/<col>/s<seed>" with seeds base..base+seeds-1.
+  EXPECT_EQ(grid.points()[0].id, "bfs/GMC/s10");
+  EXPECT_EQ(grid.points()[2].id, "bfs/GMC/s12");
+  EXPECT_EQ(grid.points()[3].id, "spmv/GMC/s10");
+  for (const ExpPoint& p : grid.points()) {
+    EXPECT_EQ(p.col, "GMC");
+    EXPECT_EQ(p.cycles, shape.cycles);
+    EXPECT_EQ(p.warmup, shape.warmup);
+    EXPECT_GE(p.seed, 10u);
+    EXPECT_LE(p.seed, 12u);
+  }
+}
+
+TEST(ExpGrid, AddMatrixExpandsFullCrossProduct) {
+  RunShape shape;
+  shape.seeds = 2;
+  ExpGrid grid;
+  grid.add_matrix(two_workloads(), {SchedulerKind::kGmc, SchedulerKind::kWg,
+                                    SchedulerKind::kWgW},
+                  shape);
+  EXPECT_EQ(grid.size(), 2u * 3u * 2u);
+
+  // Scheduler display names become the columns; every id is unique.
+  std::set<std::string> ids, cols;
+  for (const ExpPoint& p : grid.points()) {
+    ids.insert(p.id);
+    cols.insert(p.col);
+  }
+  EXPECT_EQ(ids.size(), grid.size());
+  EXPECT_EQ(cols, (std::set<std::string>{"GMC", "WG", "WG-W"}));
+}
+
+TEST(ExpGrid, KeepMatchingFiltersOnIdSubstring) {
+  RunShape shape;
+  ExpGrid grid;
+  grid.add_matrix(two_workloads(), {SchedulerKind::kGmc, SchedulerKind::kWgW},
+                  shape);
+  ASSERT_EQ(grid.size(), 4u);
+
+  grid.keep_matching("bfs/");
+  ASSERT_EQ(grid.size(), 2u);
+  for (const ExpPoint& p : grid.points()) EXPECT_EQ(p.row, "bfs");
+
+  // An empty filter keeps everything; a non-matching one empties the grid.
+  grid.keep_matching("");
+  EXPECT_EQ(grid.size(), 2u);
+  grid.keep_matching("no-such-point");
+  EXPECT_TRUE(grid.empty());
+}
+
+TEST(ExpGrid, AnalyticPointsCarryTheirFunction) {
+  ExpGrid grid;
+  ExpPoint p;
+  p.id = "banks=4/MERB";
+  p.row = "banks=4";
+  p.col = "MERB";
+  p.analytic = [] { return MetricMap{{"merb", 7.0}}; };
+  grid.add(std::move(p));
+  ASSERT_EQ(grid.size(), 1u);
+  ASSERT_TRUE(grid.points()[0].analytic);
+  EXPECT_DOUBLE_EQ(grid.points()[0].analytic().at("merb"), 7.0);
+}
