@@ -1,0 +1,84 @@
+// Simulation-throughput harness: host Mcycles/s per workload/scheduler.
+//
+// Not a paper figure — this measures the *simulator*, not the simulated
+// machine.  For each irregular workload it runs the GMC baseline and the
+// full WG-W design twice, with idle-cycle fast-forward disabled and
+// enabled, and reports simulated DRAM Mcycles per wall-clock second plus
+// the fast-forward speedup.  The two runs must produce identical IPC
+// (fast-forward is behavior-preserving by contract; see DESIGN.md "Hot
+// path & determinism contract") — any divergence aborts the bench.
+//
+// Wall-clock numbers are machine-dependent; track trends, not absolutes.
+// EXPERIMENTS.md records the reference sweep-level numbers.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace latdiv;
+using namespace latdiv::bench;
+
+namespace {
+
+struct Measured {
+  double ipc = 0.0;
+  double mcycles_per_s = 0.0;  ///< simulated DRAM Mcycles / wall second
+};
+
+Measured measure(const WorkloadProfile& w, SchedulerKind sched,
+                 const Options& opts, bool fast_forward) {
+  const auto start = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  const RunResult r = run_point(
+      w, sched, opts,
+      [&](SimConfig& cfg) { cfg.idle_fast_forward = fast_forward; });
+  const double wall_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - start)  // lint: wall-clock-ok
+          .count();
+  Measured m;
+  m.ipc = r.ipc;
+  m.mcycles_per_s =
+      wall_s > 0.0 ? static_cast<double>(r.dram_cycles) / 1e6 / wall_s : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  banner("simulator throughput — host Mcycles/s, fast-forward off vs on",
+         "identical IPC both ways; speedup is workload-dependent");
+  print_config(opts);
+
+  print_row("workload", {"sched", "Mc/s off", "Mc/s on", "speedup"});
+  std::vector<double> speedups;
+  for (const WorkloadProfile& w : irregular_suite()) {
+    for (const SchedulerKind sched :
+         {SchedulerKind::kGmc, SchedulerKind::kWgW}) {
+      const Measured off = measure(w, sched, opts, /*fast_forward=*/false);
+      const Measured on = measure(w, sched, opts, /*fast_forward=*/true);
+      if (off.ipc != on.ipc) {
+        std::fprintf(stderr,
+                     "bench_throughput: fast-forward changed %s/%s IPC "
+                     "(%.6f vs %.6f) — behavior contract violated\n",
+                     w.name.c_str(),
+                     sched == SchedulerKind::kGmc ? "GMC" : "WG-W", off.ipc,
+                     on.ipc);
+        return 1;
+      }
+      const double speedup = safe_ratio(on.mcycles_per_s, off.mcycles_per_s);
+      speedups.push_back(speedup);
+      print_row(w.name, {sched == SchedulerKind::kGmc ? "GMC" : "WG-W",
+                         fixed(off.mcycles_per_s, 2),
+                         fixed(on.mcycles_per_s, 2), fixed(speedup, 2)});
+    }
+  }
+  print_row("geomean", {"-", "-", "-", fixed(geomean(speedups), 2)});
+  std::printf("\nfast-forward helps most while every component is idle "
+              "(warmup tails, drained phases); dense phases run at the "
+              "baseline rate.\n");
+  return 0;
+}

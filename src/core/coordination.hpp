@@ -34,6 +34,17 @@ class CoordinationNetwork {
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
 
+  /// Earliest cycle >= now at which a tick can move a message (idle
+  /// fast-forward): `now` while any controller outbox awaits pickup,
+  /// else the due time of the oldest in-flight message (kNoCycle when
+  /// the network is empty; constant latency keeps in_flight_ sorted).
+  [[nodiscard]] Cycle next_event(Cycle now) const {
+    for (const MemoryController* mc : controllers_) {
+      if (!mc->outbox().empty()) return now;
+    }
+    return in_flight_.empty() ? kNoCycle : in_flight_.front().due;
+  }
+
  private:
   struct Pending {
     Cycle due;

@@ -1,7 +1,6 @@
 #include "core/policy_wg.hpp"
 
 #include <algorithm>
-#include <array>
 
 #include "common/log.hpp"
 
@@ -9,23 +8,117 @@ namespace latdiv {
 
 namespace {
 
-/// Requests of `instr` currently waiting in the read queue.
-std::uint32_t pending_in_queue(const MemoryController& mc, WarpInstrUid instr) {
+/// Exact (bank, row) key for the MERB orphan-control counts.
+inline std::uint64_t row_key(BankId bank, RowId row) {
+  return (static_cast<std::uint64_t>(bank) << 32) | row;
+}
+
+/// Truncated (bank, row) key for the shared-row census — must match the
+/// historical census exactly, including its 24-bit row truncation.
+inline std::uint32_t census_key(BankId bank, RowId row) {
+  return (static_cast<std::uint32_t>(bank) << 24) | (row & 0xFFFFFF);
+}
+
+}  // namespace
+
+// ---- incremental read-queue index -------------------------------------
+//
+// The index mirrors the read queue: every read request of a group is one
+// QueuedReq in that group's per-bank slot, in queue (arrival-sequence)
+// order.  The queue is a deque that only ever push_backs and erases, so
+// relative order is stable and `seq` reconstructs it exactly: a group's
+// position among the selection candidates is the minimum seq over its
+// slots' front items (the old code's first-occurrence-in-queue order).
+
+void WgPolicy::index_add(WgGroupMeta& meta, const MemRequest& req) {
+  const std::uint64_t seq = next_seq_++;
+  auto it = std::find_if(
+      meta.slots.begin(), meta.slots.end(),
+      [&](const WgGroupMeta::BankSlot& s) { return s.bank == req.loc.bank; });
+  if (it == meta.slots.end()) {
+    meta.slots.push_back(WgGroupMeta::BankSlot{req.loc.bank, {}, 0});
+    it = meta.slots.end() - 1;
+  }
+  it->items.push_back(
+      WgGroupMeta::QueuedReq{seq, req.arrived_at_mc, req.loc.row});
+  ++meta.version;
+  if (!meta.in_active) {
+    active_.emplace_back(req.tag.instr, &meta);
+    meta.in_active = true;
+  }
+  if (cfg_.merb) ++row_counts_[row_key(req.loc.bank, req.loc.row)];
+  if (cfg_.shared_data_boost) {
+    auto& users = census_[census_key(req.loc.bank, req.loc.row)];
+    auto uit = std::find_if(users.begin(), users.end(), [&](const auto& u) {
+      return u.first == req.tag.instr;
+    });
+    if (uit == users.end()) {
+      users.emplace_back(req.tag.instr, 1u);
+    } else {
+      ++uit->second;
+    }
+  }
+}
+
+void WgPolicy::index_remove(WgGroupMeta& meta, const MemRequest& req) {
+  auto it = std::find_if(
+      meta.slots.begin(), meta.slots.end(),
+      [&](const WgGroupMeta::BankSlot& s) { return s.bank == req.loc.bank; });
+  LATDIV_ASSERT(it != meta.slots.end(), "index_remove: unknown bank slot");
+  // The erased queue element is always the earliest remaining request of
+  // this (group, bank) matching its row, so the first (row, arrival)
+  // match in the seq-ordered slot is the right one.
+  auto rit = std::find_if(
+      it->items.begin(), it->items.end(), [&](const WgGroupMeta::QueuedReq& q) {
+        return q.row == req.loc.row && q.arrival == req.arrived_at_mc;
+      });
+  LATDIV_ASSERT(rit != it->items.end(), "index_remove: request not indexed");
+  it->items.erase(rit);
+  ++meta.version;
+  if (cfg_.merb) {
+    auto cit = row_counts_.find(row_key(req.loc.bank, req.loc.row));
+    LATDIV_ASSERT(cit != row_counts_.end() && cit->second > 0,
+                  "index_remove: row count underflow");
+    if (--cit->second == 0) row_counts_.erase(cit);
+  }
+  if (cfg_.shared_data_boost) {
+    auto kit = census_.find(census_key(req.loc.bank, req.loc.row));
+    LATDIV_ASSERT(kit != census_.end(), "index_remove: census key missing");
+    auto& users = kit->second;
+    auto uit = std::find_if(users.begin(), users.end(), [&](const auto& u) {
+      return u.first == req.tag.instr;
+    });
+    LATDIV_ASSERT(uit != users.end() && uit->second > 0,
+                  "index_remove: census count underflow");
+    if (--uit->second == 0) users.erase(uit);
+    if (users.empty()) census_.erase(kit);
+  }
+}
+
+std::uint32_t WgPolicy::group_row_count(const WgGroupMeta& meta, BankId bank,
+                                        RowId row) const {
+  auto it = std::find_if(
+      meta.slots.begin(), meta.slots.end(),
+      [&](const WgGroupMeta::BankSlot& s) { return s.bank == bank; });
+  if (it == meta.slots.end()) return 0;
   std::uint32_t n = 0;
-  for (const MemRequest& req :
-       mc.read_queue()) {
-    if (req.tag.instr == instr) ++n;
+  for (const WgGroupMeta::QueuedReq& q : it->items) {
+    if (q.row == row) ++n;
   }
   return n;
 }
 
-}  // namespace
+// ---- notifications ----------------------------------------------------
 
 void WgPolicy::on_push(MemoryController& mc, const MemRequest& req,
                        Cycle now) {
   if (req.kind != ReqKind::kRead) return;  // warp-groups are read-only
   WgGroupMeta& meta = groups_[req.tag.instr];
-  if (meta.seen == 0) {
+  const bool first = meta.seen == 0;
+  // Index before the WG-M replay below: the replay scores this group, and
+  // the request is already in the read queue when on_push fires.
+  index_add(meta, req);
+  if (first) {
     meta.tag = req.tag;
     meta.first_arrival = now;
     // A remote controller may have selected this warp before its
@@ -89,7 +182,7 @@ void WgPolicy::on_drain_start(MemoryController& mc, Cycle) {
   std::size_t small = 0;
   // lint: order-independent (pure counting; no selection by position)
   for (const auto& [instr, meta] : groups_) {
-    const std::uint32_t remaining = meta.seen - meta.pushed;
+    const std::uint32_t remaining = meta.queued();
     if (remaining == 0) continue;
     ++stalled;
     const bool unit_sized = meta.seen == 1;
@@ -109,49 +202,61 @@ bool WgPolicy::write_pressure(const MemoryController& mc) const {
          mc.config().wq_high_watermark;
 }
 
+// ---- scoring ----------------------------------------------------------
+
 std::uint32_t WgPolicy::bank_queue_score(const MemoryController& mc,
                                          BankId bank) const {
+  if (bqs_cache_.empty()) bqs_cache_.assign(banks_, {0, 0});
+  auto& entry = bqs_cache_[bank];
+  const std::uint64_t epoch = mc.bank_epoch(bank) + 1;  // 0 = never cached
+  if (entry.first == epoch) return entry.second;
   std::uint32_t score = 0;
   RowId running = mc.channel().open_row(bank);
   for (const MemRequest& queued : mc.bank_queue(bank)) {
     score += (queued.loc.row == running) ? cfg_.score_hit : cfg_.score_miss;
     running = queued.loc.row;
   }
+  entry = {epoch, score};
   return score;
 }
 
 WgPolicy::Score WgPolicy::score_group(const MemoryController& mc,
                                       WarpInstrUid instr) const {
-  // Walk the group's queued requests in order, simulating each touched
-  // bank's planned row sequence starting from the controller's predictor.
-  struct BankAccum {
-    BankId bank;
-    RowId running;
-    std::uint32_t score;
-  };
-  // A warp touches ~2 banks per controller on average; linear scan of a
-  // tiny vector beats a map here.
-  std::vector<BankAccum> banks;
-  Score out;
-  for (const MemRequest& req :
-       mc.read_queue()) {
-    if (req.tag.instr != instr) continue;
-    auto it = std::find_if(banks.begin(), banks.end(), [&](const BankAccum& a) {
-      return a.bank == req.loc.bank;
-    });
-    if (it == banks.end()) {
-      banks.push_back(BankAccum{req.loc.bank, mc.predicted_row(req.loc.bank),
-                                bank_queue_score(mc, req.loc.bank)});
-      it = banks.end() - 1;
+  const auto git = groups_.find(instr);
+  if (git == groups_.end()) return {};
+  const WgGroupMeta& meta = git->second;
+
+  if (meta.score_version == meta.version) {
+    bool valid = true;
+    for (const WgGroupMeta::BankSlot& slot : meta.slots) {
+      if (!slot.items.empty() &&
+          slot.score_epoch != mc.bank_epoch(slot.bank) + 1) {
+        valid = false;
+        break;
+      }
     }
-    const bool hit = req.loc.row == it->running;
-    it->score += hit ? cfg_.score_hit : cfg_.score_miss;
-    if (hit) ++out.row_hits;
-    it->running = req.loc.row;
+    if (valid) return Score{meta.score_completion, meta.score_row_hits};
   }
-  for (const BankAccum& a : banks) {
-    out.completion = std::max(out.completion, a.score);
+
+  // Walk the group's queued requests per touched bank, simulating the
+  // bank's planned row sequence starting from the controller's predictor.
+  Score out;
+  for (const WgGroupMeta::BankSlot& slot : meta.slots) {
+    if (slot.items.empty()) continue;
+    RowId running = mc.predicted_row(slot.bank);
+    std::uint32_t score = bank_queue_score(mc, slot.bank);
+    for (const WgGroupMeta::QueuedReq& q : slot.items) {
+      const bool hit = q.row == running;
+      score += hit ? cfg_.score_hit : cfg_.score_miss;
+      if (hit) ++out.row_hits;
+      running = q.row;
+    }
+    out.completion = std::max(out.completion, score);
+    slot.score_epoch = mc.bank_epoch(slot.bank) + 1;
   }
+  meta.score_version = meta.version;
+  meta.score_completion = out.completion;
+  meta.score_row_hits = out.row_hits;
   return out;
 }
 
@@ -161,45 +266,63 @@ void WgPolicy::forget_if_done(WarpInstrUid instr) {
   const WgGroupMeta& meta = it->second;
   if (meta.complete && meta.pushed >= meta.seen &&
       (!current_ || *current_ != instr)) {
+    if (meta.in_active) {
+      // The lazy sweep may not have run since the group drained; its
+      // active_ entry points into the node being erased.
+      const auto ait = std::find_if(
+          active_.begin(), active_.end(),
+          [&](const auto& e) { return e.first == instr; });
+      LATDIV_ASSERT(ait != active_.end(), "in_active group not listed");
+      *ait = active_.back();
+      active_.pop_back();
+    }
     groups_.erase(it);
   }
 }
 
+// ---- selection --------------------------------------------------------
+
 void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
   auto& rq = mc.read_queue();
-  if (rq.empty()) return;
-
-  // Bucket the read queue by warp instruction (one pass), tracking the
-  // per-bank footprint so a group is only eligible when its requests FIT
-  // the bank command queues right now.  Selecting a group that cannot be
-  // pulled would head-of-line-block the transaction scheduler behind one
-  // saturated bank while other banks starve.
-  struct Cand {
-    WarpInstrUid instr;
-    std::uint32_t count = 0;
-    Cycle oldest = kNoCycle;
-    std::array<std::uint8_t, 32> per_bank{};
-    std::uint32_t opens_row_mask = 0;  ///< banks where this group row-misses
-  };
-  std::vector<Cand> cands;
-  for (const MemRequest& req : rq) {
-    auto it = std::find_if(cands.begin(), cands.end(), [&](const Cand& c) {
-      return c.instr == req.tag.instr;
-    });
-    if (it == cands.end()) {
-      cands.push_back(Cand{req.tag.instr, 1, req.arrived_at_mc, {}, 0});
-      it = cands.end() - 1;
-    } else {
-      ++it->count;
-      it->oldest = std::min(it->oldest, req.arrived_at_mc);
-    }
-    if (it->per_bank[req.loc.bank] == 0 &&
-        mc.predicted_row(req.loc.bank) != req.loc.row) {
-      it->opens_row_mask |= 1u << req.loc.bank;
-    }
-    ++it->per_bank[req.loc.bank];
+  const std::uint64_t epoch = mc.mutation_epoch();
+  if (skip_epoch_ == epoch && now < skip_until_) return;
+  if (rq.empty()) {
+    skip_epoch_ = epoch;
+    skip_until_ = kNoCycle;  // only new state can change the answer
+    return;
   }
-  const auto banks = static_cast<std::size_t>(mc.channel().timing().banks);
+
+  // Candidates come from the incremental per-group index (one entry per
+  // group with queued requests), sorted by each group's earliest queued
+  // request so the list reproduces the read queue's first-occurrence
+  // order — the final tie-breaker of every selection rule below.
+  cands_.clear();
+  for (std::size_t i = 0; i < active_.size();) {
+    const WarpInstrUid instr = active_[i].first;
+    WgGroupMeta& meta = *active_[i].second;
+    if (meta.queued() == 0) {  // drained since listing: sweep out
+      meta.in_active = false;
+      active_[i] = active_.back();
+      active_.pop_back();
+      continue;
+    }
+    ++i;
+    Cand c{instr, &meta, ~std::uint64_t{0}, 0, kNoCycle, 0};
+    for (const WgGroupMeta::BankSlot& slot : meta.slots) {
+      if (slot.items.empty()) continue;
+      const WgGroupMeta::QueuedReq& front = slot.items.front();
+      c.head_seq = std::min(c.head_seq, front.seq);
+      c.oldest = std::min(c.oldest, front.arrival);
+      c.count += static_cast<std::uint32_t>(slot.items.size());
+      if (mc.predicted_row(slot.bank) != front.row) {
+        c.opens_row_mask |= 1u << slot.bank;
+      }
+    }
+    cands_.push_back(c);
+  }
+  std::sort(cands_.begin(), cands_.end(),
+            [](const Cand& a, const Cand& b) { return a.head_seq < b.head_seq; });
+
   // A group is selectable when (a) its requests fit the bank command
   // queues and (b) any bank whose row it would close has drained — the
   // same stream hysteresis the GMC row sorter applies: a hit for the
@@ -207,17 +330,17 @@ void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
   // it.  The liveness fallback below ignores (b).
   const auto depth_cap = mc.config().bank_queue_depth;
   auto fits = [&](const Cand& c, bool require_drained) {
-    for (std::size_t b = 0; b < banks; ++b) {
-      if (c.per_bank[b] == 0) continue;
+    for (const WgGroupMeta::BankSlot& slot : c.meta->slots) {
+      if (slot.items.empty()) continue;
       // Groups larger than a bank's command queue can never fit whole;
       // they become selectable once the full queue depth is free and
       // then drain incrementally (drain_current keeps them current).
-      const auto need = std::min<std::uint32_t>(c.per_bank[b], depth_cap);
-      if (!mc.bank_queue_has_space(static_cast<BankId>(b), need)) {
+      const auto need = std::min<std::size_t>(slot.items.size(), depth_cap);
+      if (!mc.bank_queue_has_space(slot.bank, need)) {
         return false;
       }
-      if (require_drained && (c.opens_row_mask & (1u << b)) != 0 &&
-          mc.bank_queue_size(static_cast<BankId>(b)) != 0) {
+      if (require_drained && (c.opens_row_mask & (1u << slot.bank)) != 0 &&
+          mc.bank_queue_size(slot.bank) != 0) {
         return false;
       }
     }
@@ -231,9 +354,8 @@ void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
   if (write_pressure(mc)) {
     const Cand* best = nullptr;
     for (const bool require_drained : {true, false}) {
-      for (const Cand& c : cands) {
-        const auto git = groups_.find(c.instr);
-        if (git == groups_.end() || !git->second.complete) continue;
+      for (const Cand& c : cands_) {
+        if (!c.meta->complete) continue;
         if (c.count != 1 || !fits(c, require_drained)) continue;
         if (best == nullptr || c.oldest < best->oldest) best = &c;
       }
@@ -241,51 +363,27 @@ void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
     }
     if (best != nullptr) {
       current_ = best->instr;
+      skip_epoch_ = ~std::uint64_t{0};
       ++stats_.groups_selected;
       ++stats_.writeaware_selections;
-      stats_.group_size.add(groups_.at(best->instr).seen);
+      stats_.group_size.add(best->meta->seen);
       if (cfg_.multi_channel) {
-        mc.announce_selection(groups_.at(best->instr).tag, 0);
+        mc.announce_selection(best->meta->tag, 0);
       }
       return;
     }
   }
 
-  // Shared-row census for the shared-data extension: how many groups
-  // touch each (bank, row) pair in the queue.
-  struct RowUse {
-    std::uint32_t key;
-    WarpInstrUid first_instr;
-    bool shared;
-  };
-  std::vector<RowUse> row_uses;
-  if (cfg_.shared_data_boost) {
-    for (const MemRequest& req : rq) {
-      const std::uint32_t key =
-          (static_cast<std::uint32_t>(req.loc.bank) << 24) |
-          (req.loc.row & 0xFFFFFF);
-      auto it = std::find_if(row_uses.begin(), row_uses.end(),
-                             [&](const RowUse& u) { return u.key == key; });
-      if (it == row_uses.end()) {
-        row_uses.push_back(RowUse{key, req.tag.instr, false});
-      } else if (it->first_instr != req.tag.instr) {
-        it->shared = true;
-      }
-    }
-  }
-  auto shared_requests = [&](WarpInstrUid instr) -> std::uint32_t {
+  // Shared-data extension: how many of the group's queued requests touch
+  // a (bank, row) that at least one other pending group also needs.  The
+  // census is maintained incrementally by index_add/index_remove.
+  auto shared_requests = [&](const Cand& c) -> std::uint32_t {
     if (!cfg_.shared_data_boost) return 0;
     std::uint32_t n = 0;
-    for (const MemRequest& req : rq) {
-      if (req.tag.instr != instr) continue;
-      const std::uint32_t key =
-          (static_cast<std::uint32_t>(req.loc.bank) << 24) |
-          (req.loc.row & 0xFFFFFF);
-      for (const RowUse& u : row_uses) {
-        if (u.key == key && u.shared) {
-          ++n;
-          break;
-        }
+    for (const WgGroupMeta::BankSlot& slot : c.meta->slots) {
+      for (const WgGroupMeta::QueuedReq& q : slot.items) {
+        const auto kit = census_.find(census_key(slot.bank, q.row));
+        if (kit != census_.end() && kit->second.size() >= 2) ++n;
       }
     }
     return n;
@@ -297,15 +395,13 @@ void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
   Score best_score{};
   std::uint32_t best_effective = 0;
   bool best_was_boosted = false;
-  for (const Cand& c : cands) {
-    const auto git = groups_.find(c.instr);
-    LATDIV_ASSERT(git != groups_.end(), "queued request without group meta");
-    if (!git->second.complete || !fits(c, /*require_drained=*/true)) continue;
+  for (const Cand& c : cands_) {
+    if (!c.meta->complete || !fits(c, /*require_drained=*/true)) continue;
     const Score s = score_group(mc, c.instr);
-    std::uint32_t bonus = git->second.coord_bonus;
+    std::uint32_t bonus = c.meta->coord_bonus;
     std::uint32_t shared_bonus = 0;
     if (cfg_.shared_data_boost) {
-      shared_bonus = cfg_.shared_weight * shared_requests(c.instr);
+      shared_bonus = cfg_.shared_weight * shared_requests(c);
       bonus += shared_bonus;
     }
     const std::uint32_t eff = s.completion > bonus ? s.completion - bonus : 0;
@@ -329,26 +425,40 @@ void WgPolicy::select_next_group(MemoryController& mc, Cycle now) {
     // remaining members of other groups can reach the controller.
     const bool pressure = rq.size() + cfg_.rq_pressure_slack >= rq.capacity();
     const Cand* oldest = nullptr;
-    for (const Cand& c : cands) {
+    for (const Cand& c : cands_) {
       if (!fits(c, /*require_drained=*/false)) continue;
       if (oldest == nullptr || c.oldest < oldest->oldest) oldest = &c;
     }
-    if (oldest == nullptr) return;  // every candidate waits on bank space
-    if (!pressure && now - oldest->oldest < cfg_.fallback_age) return;
+    if (oldest == nullptr) {
+      // Every candidate waits on bank space; only a state change helps.
+      skip_epoch_ = epoch;
+      skip_until_ = kNoCycle;
+      return;
+    }
+    if (!pressure && now - oldest->oldest < cfg_.fallback_age) {
+      // Time alone can flip this outcome: wake when the age bound hits.
+      skip_epoch_ = epoch;
+      skip_until_ = oldest->oldest + cfg_.fallback_age;
+      return;
+    }
     current_ = oldest->instr;
+    skip_epoch_ = ~std::uint64_t{0};
     ++stats_.groups_selected;
     ++stats_.fallback_selections;
-    stats_.group_size.add(groups_.at(oldest->instr).seen);
+    stats_.group_size.add(oldest->meta->seen);
     return;
   }
 
   current_ = best->instr;
+  skip_epoch_ = ~std::uint64_t{0};
   ++stats_.groups_selected;
-  stats_.group_size.add(groups_.at(best->instr).seen);
+  stats_.group_size.add(best->meta->seen);
   if (cfg_.multi_channel) {
-    mc.announce_selection(groups_.at(best->instr).tag, best_effective);
+    mc.announce_selection(best->meta->tag, best_effective);
   }
 }
+
+// ---- draining ---------------------------------------------------------
 
 bool WgPolicy::push_filler(MemoryController& mc, BankId bank, Cycle now) {
   auto& rq = mc.read_queue();
@@ -357,26 +467,66 @@ bool WgPolicy::push_filler(MemoryController& mc, BankId bank, Cycle now) {
 
   // Prefer the filler whose warp-group is closest to completion at this
   // controller (paper: overlap the miss with hits from nearly-complete
-  // warps); among ties, the oldest request.
-  std::unordered_map<WarpInstrUid, std::uint32_t> remaining;
-  for (const MemRequest& req : rq) ++remaining[req.tag.instr];
-
-  auto best = rq.end();
+  // warps); among ties, the group whose matching request is oldest in
+  // the queue.  The winner minimises (remaining, earliest matching seq),
+  // which is exactly what the old oldest-first queue scan selected.
+  const WgGroupMeta* best_meta = nullptr;
+  WarpInstrUid best_instr = 0;
   std::uint32_t best_remaining = 0;
-  for (auto it = rq.begin(); it != rq.end(); ++it) {
-    if (it->loc.bank != bank || it->loc.row != target_row) continue;
-    if (current_ && it->tag.instr == *current_) continue;  // not a filler
-    const std::uint32_t rem = remaining.at(it->tag.instr);
-    if (best == rq.end() || rem < best_remaining) {
-      best = it;
+  std::uint64_t best_seq = 0;
+  // Winner minimises a unique (remaining, seq) key, so active_ order is
+  // irrelevant here too.
+  for (std::size_t i = 0; i < active_.size();) {
+    const WarpInstrUid instr = active_[i].first;
+    WgGroupMeta& ameta = *active_[i].second;
+    if (ameta.queued() == 0) {  // drained since listing: sweep out
+      ameta.in_active = false;
+      active_[i] = active_.back();
+      active_.pop_back();
+      continue;
+    }
+    ++i;
+    const WgGroupMeta& meta = ameta;
+    if (current_ && instr == *current_) continue;  // not a filler
+    const auto sit = std::find_if(
+        meta.slots.begin(), meta.slots.end(),
+        [&](const WgGroupMeta::BankSlot& s) { return s.bank == bank; });
+    if (sit == meta.slots.end()) continue;
+    std::uint64_t seq = ~std::uint64_t{0};
+    for (const WgGroupMeta::QueuedReq& q : sit->items) {
+      if (q.row == target_row) {
+        seq = q.seq;
+        break;
+      }
+    }
+    if (seq == ~std::uint64_t{0}) continue;
+    const std::uint32_t rem = meta.queued();
+    if (best_meta == nullptr || rem < best_remaining ||
+        (rem == best_remaining && seq < best_seq)) {
+      best_meta = &meta;
+      best_instr = instr;
       best_remaining = rem;
+      best_seq = seq;
     }
   }
-  if (best == rq.end()) return false;
-  MemRequest req = *best;
-  rq.erase(best);
+  if (best_meta == nullptr) return false;
+
+  // One targeted scan to erase the chosen request from the real queue
+  // (the index has no iterators into it); the first match is the
+  // earliest, which is the indexed winner.
+  auto it = rq.begin();
+  for (; it != rq.end(); ++it) {
+    if (it->tag.instr == best_instr && it->loc.bank == bank &&
+        it->loc.row == target_row) {
+      break;
+    }
+  }
+  LATDIV_ASSERT(it != rq.end(), "push_filler: indexed request not in queue");
+  MemRequest req = *it;
+  rq.erase(it);
+  index_remove(groups_.at(best_instr), req);
   mc.send_to_bank(req, now);
-  ++groups_.at(req.tag.instr).pushed;
+  ++groups_.at(best_instr).pushed;
   return true;
 }
 
@@ -419,14 +569,14 @@ std::uint32_t WgPolicy::drain_current(MemoryController& mc, Cycle now) {
       } else {
         // Threshold met — orphan control: if only 1..orphan_limit hits to
         // the outgoing row remain, service them before closing it.
-        std::uint32_t fillers = 0;
         const RowId target = mc.predicted_row(bank);
-        for (const MemRequest& req : rq) {
-          if (req.loc.bank == bank && req.loc.row == target &&
-              req.tag.instr != *current_) {
-            ++fillers;
-          }
-        }
+        const auto cit = row_counts_.find(row_key(bank, target));
+        const std::uint32_t total =
+            cit != row_counts_.end() ? cit->second : 0;
+        const std::uint32_t own =
+            group_row_count(groups_.at(*current_), bank, target);
+        LATDIV_ASSERT(total >= own, "orphan count underflow");
+        const std::uint32_t fillers = total - own;
         if (fillers >= 1 && fillers <= cfg_.orphan_limit) {
           bool pushed_any = false;
           while (pushes < cfg_.max_pushes_per_cycle &&
@@ -448,6 +598,7 @@ std::uint32_t WgPolicy::drain_current(MemoryController& mc, Cycle now) {
     }
       MemRequest req = *it;
       it = rq.erase(it);
+      index_remove(groups_.at(req.tag.instr), req);
       mc.send_to_bank(req, now);
       ++groups_.at(req.tag.instr).pushed;
       ++pushes;
@@ -468,7 +619,7 @@ void WgPolicy::schedule_reads(MemoryController& mc, Cycle now) {
     if (!current_) return;
     const WarpInstrUid instr = *current_;
     drain_current(mc, now);
-    if (pending_in_queue(mc, instr) == 0) {
+    if (groups_.at(instr).queued() == 0) {
       // Fully pulled (or, for a fallback-selected incomplete group, all
       // of its received requests pulled) — move on.
       current_.reset();

@@ -49,6 +49,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/merb.hpp"
 #include "mc/controller.hpp"
 #include "mc/policy.hpp"
@@ -80,6 +81,12 @@ struct WgConfig {
 };
 
 /// Per-warp-group bookkeeping (the warp sorter / bank table entry).
+///
+/// Besides the paper's counters this carries the incremental read-queue
+/// index: one entry per request of the group still waiting in the
+/// controller's read queue, grouped by bank and kept in arrival order.
+/// WgPolicy maintains it in on_push and at every read-queue erase, so
+/// selection and scoring never rescan the read queue.
 struct WgGroupMeta {
   WarpTag tag;
   Cycle first_arrival = kNoCycle;
@@ -87,6 +94,36 @@ struct WgGroupMeta {
   std::uint32_t pushed = 0;  ///< requests already sent to bank queues
   std::uint32_t coord_bonus = 0;  ///< accumulated WG-M score reduction
   bool complete = false;
+
+  struct QueuedReq {
+    std::uint64_t seq;  ///< controller-wide arrival sequence number
+    Cycle arrival;      ///< == arrived_at_mc (non-decreasing in seq)
+    RowId row;
+  };
+  struct BankSlot {
+    BankId bank;
+    std::vector<QueuedReq> items;  ///< this group's queued requests, in
+                                   ///< read-queue (= seq) order
+    /// bank_epoch(bank)+1 when cached_score was computed (score cache).
+    mutable std::uint64_t score_epoch = 0;
+  };
+  /// Per-bank slots in first-touch order; a slot may drain empty.
+  std::vector<BankSlot> slots;
+  std::uint64_t version = 0;  ///< bumped on every index add/remove
+  /// Listed in WgPolicy::active_ (groups with queued requests); cleared
+  /// lazily when a sweep finds the group drained.
+  bool in_active = false;
+
+  /// Group score cache (see WgPolicy::score_group): valid while
+  /// score_version matches `version` and every non-empty slot's
+  /// score_epoch matches the controller's current bank epoch.
+  mutable std::uint64_t score_version = ~std::uint64_t{0};
+  mutable std::uint32_t score_completion = 0;
+  mutable std::uint32_t score_row_hits = 0;
+
+  /// Requests of this group currently in the read queue (== the old
+  /// O(read-queue) pending_in_queue scan).
+  [[nodiscard]] std::uint32_t queued() const { return seen - pushed; }
 };
 
 struct WgStats {
@@ -104,7 +141,13 @@ struct WgStats {
 class WgPolicy final : public TransactionScheduler {
  public:
   WgPolicy(const WgConfig& cfg, const DramTiming& timing)
-      : cfg_(cfg), merb_(timing) {}
+      : cfg_(cfg), merb_(timing), banks_(timing.banks) {
+    // The per-group bank footprint uses 32-bit bank masks (and the WG
+    // paper's GDDR5 devices have 16 banks); wider devices need a wider
+    // opens_row_mask before this policy can run on them.
+    LATDIV_ASSERT(timing.banks <= 32,
+                  "WgPolicy bank masks support at most 32 banks");
+  }
 
   [[nodiscard]] const char* name() const override {
     if (cfg_.shared_data_boost) return "WG-Sh";
@@ -123,10 +166,13 @@ class WgPolicy final : public TransactionScheduler {
                            Cycle now) override;
   void on_drain_start(MemoryController& mc, Cycle now) override;
 
-  [[nodiscard]] const WgStats& wg_stats() const { return stats_; }
+  [[nodiscard]] const WgStats* wg_stats() const override { return &stats_; }
+  /// A selected-but-undrained group is scheduler state the controller's
+  /// queues don't show; schedule_reads clears it whenever the group's
+  /// queued requests run out, so with an empty read queue this holds.
+  [[nodiscard]] bool quiescent() const override { return !current_; }
   [[nodiscard]] const WgConfig& config() const { return cfg_; }
 
- private:
   struct Score {
     std::uint32_t completion = 0;  ///< estimated completion-time score
     std::uint32_t row_hits = 0;    ///< tie-breaker
@@ -138,7 +184,21 @@ class WgPolicy final : public TransactionScheduler {
   /// *planned* row sequence: predicted row, advanced per queued request.
   [[nodiscard]] Score score_group(const MemoryController& mc,
                                   WarpInstrUid instr) const;
-  /// Sum of request scores pending in `bank`'s command queue.
+
+  // Differential-test hooks (tests/test_wg_incremental.cpp): read-only
+  // views of the incremental index so reference scans of the real read
+  // queue can be checked against it after arbitrary event sequences.
+  [[nodiscard]] const std::unordered_map<WarpInstrUid, WgGroupMeta>& groups()
+      const {
+    return groups_;
+  }
+  [[nodiscard]] const std::optional<WarpInstrUid>& current() const {
+    return current_;
+  }
+
+ private:
+  /// Sum of request scores pending in `bank`'s command queue (cached per
+  /// bank, invalidated by the controller's bank epoch).
   [[nodiscard]] std::uint32_t bank_queue_score(const MemoryController& mc,
                                                BankId bank) const;
 
@@ -153,10 +213,66 @@ class WgPolicy final : public TransactionScheduler {
 
   [[nodiscard]] bool write_pressure(const MemoryController& mc) const;
 
+  // --- incremental index maintenance -----------------------------------
+  /// Record a read request entering the read queue (called from on_push,
+  /// when the request is already queued).
+  void index_add(WgGroupMeta& meta, const MemRequest& req);
+  /// Record a read request leaving the read queue (called at every
+  /// policy-side erase, immediately before send_to_bank).
+  void index_remove(WgGroupMeta& meta, const MemRequest& req);
+  /// Queued requests of `instr` matching (bank, row) — MERB orphan count.
+  [[nodiscard]] std::uint32_t group_row_count(const WgGroupMeta& meta,
+                                              BankId bank, RowId row) const;
+
   WgConfig cfg_;
   MerbTable merb_;
+  std::uint32_t banks_;
   std::unordered_map<WarpInstrUid, WgGroupMeta> groups_;
   std::optional<WarpInstrUid> current_;
+  /// Groups that (may) have queued requests — the candidate universe for
+  /// selection and filler searches, so neither walks the groups_ hash
+  /// table.  Entries are appended by index_add when a drained group gains
+  /// a request, swept out lazily when found empty, and removed eagerly in
+  /// forget_if_done (the meta pointer must not dangle).  Order is
+  /// irrelevant: every consumer totally orders candidates itself.
+  std::vector<std::pair<WarpInstrUid, WgGroupMeta*>> active_;
+
+  /// Controller-wide arrival sequence for read requests; slot items carry
+  /// it so the read queue's relative order (a deque: push-back + erase)
+  /// can be reconstructed from the index alone.
+  std::uint64_t next_seq_ = 0;
+
+  // Select-skip memo: when select_next_group fails, it records the
+  // controller mutation epoch (and, for age-gated fallback failures, the
+  // cycle the age bound is reached).  Until either changes, re-running
+  // the selection is provably futile and is skipped.
+  std::uint64_t skip_epoch_ = ~std::uint64_t{0};
+  Cycle skip_until_ = 0;
+
+  /// Per-bank queue-score cache: (bank_epoch+1, score); 0 = invalid.
+  mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> bqs_cache_;
+
+  /// WG-Bw orphan control: total queued read requests per exact
+  /// (bank, row), across all groups.  Maintained only when cfg_.merb.
+  std::unordered_map<std::uint64_t, std::uint32_t> row_counts_;
+  /// Shared-row census for the shared-data extension: per truncated
+  /// (bank, row24) key, the distinct groups with queued requests on it
+  /// (and their counts).  Maintained only when cfg_.shared_data_boost;
+  /// a key is "shared" when two or more groups appear.
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<WarpInstrUid, std::uint32_t>>>
+      census_;
+
+  /// Scratch candidate list reused across select_next_group calls.
+  struct Cand {
+    WarpInstrUid instr;
+    const WgGroupMeta* meta;
+    std::uint64_t head_seq;  ///< seq of the group's earliest queued request
+    std::uint32_t count;
+    Cycle oldest;
+    std::uint32_t opens_row_mask;  ///< banks where this group row-misses
+  };
+  std::vector<Cand> cands_;
   /// WG-M: recent remote selections kept briefly so a coordination
   /// message can still boost a warp-group whose requests arrive here a
   /// few cycles *after* the remote controller selected it (the crossbar

@@ -78,6 +78,21 @@ class Channel {
   /// accounting only; no timing effects).
   void on_cycle_end(Cycle now);
 
+  /// Cycle the next refresh becomes due (kNoCycle when refresh is off).
+  /// Idle fast-forward must not skip past it: refresh_due() flipping is a
+  /// scheduling event even on an otherwise empty controller.
+  [[nodiscard]] Cycle next_refresh_at() const {
+    return timing_.refresh_enabled ? next_refresh_at_ : kNoCycle;
+  }
+
+  /// Credit `n` cycles of all-banks-idle accounting in bulk (idle
+  /// fast-forward skipped the per-cycle on_cycle_end calls; the caller
+  /// guarantees no command issued in the skipped span, so the banks'
+  /// open/closed state was constant throughout).
+  void note_idle_cycles(std::uint64_t n) {
+    if (all_banks_closed()) stats_.all_banks_idle_cycles += n;
+  }
+
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const DramTiming& timing() const noexcept { return timing_; }
 

@@ -30,6 +30,7 @@ bool read_file(const std::string& path, std::string& contents) {
 }  // namespace
 
 int run_manifest(const std::string& name, const SweepRunArgs& args) {
+  const auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock-ok
   Manifest manifest;
   try {
     manifest = make_manifest(name, args.opts);
@@ -57,6 +58,8 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
 
   // Sweep timing is progress reporting only, never artifact content.
   const auto start = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  const double build_s =
+      std::chrono::duration<double>(start - t0).count();
   std::vector<PointResult> results =
       run_grid(manifest.grid, args.opts.jobs, progress);
   const double wall_s =
@@ -64,6 +67,18 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
           std::chrono::steady_clock::now() - start)  // lint: wall-clock-ok
           .count();
 
+  // Simulated DRAM cycles across the sweep (for --profile throughput);
+  // analytic points carry no dram_cycles metric and contribute zero.
+  double sim_cycles = 0.0;
+  double point_wall_ms = 0.0;
+  for (const PointResult& r : results) {
+    const auto it = r.metrics.find("dram_cycles");
+    if (r.ok && it != r.metrics.end()) sim_cycles += it->second;
+    point_wall_ms += r.wall_ms;
+  }
+
+  const auto report_start =
+      std::chrono::steady_clock::now();  // lint: wall-clock-ok
   const Artifact artifact =
       make_artifact(manifest.spec, args.opts.shape(), std::move(results));
   print_table(artifact);
@@ -81,6 +96,24 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
     std::fprintf(stderr, "latdiv-sweep: cannot write '%s'\n",
                  args.out_csv.c_str());
     return 2;
+  }
+
+  if (args.profile) {
+    const double report_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() -  // lint: wall-clock-ok
+            report_start)
+            .count();
+    const double mcycles = sim_cycles / 1e6;
+    std::fprintf(stderr,
+                 "profile: build     %8.3f s\n"
+                 "profile: simulate  %8.3f s  (%zu points, %.1f simulated "
+                 "Mcycles, %.2f Mcycles/s wall, %.2f Mcycles/s cpu)\n"
+                 "profile: report    %8.3f s\n",
+                 build_s, wall_s, artifact.points.size(), mcycles,
+                 wall_s > 0.0 ? mcycles / wall_s : 0.0,
+                 point_wall_ms > 0.0 ? mcycles / (point_wall_ms / 1e3) : 0.0,
+                 report_s);
   }
 
   int rc = failed_points(artifact) > 0 ? 1 : 0;

@@ -21,6 +21,10 @@ struct SweepRunArgs {
   GoldenOptions golden;  ///< tolerances for --check
   bool timings = false;  ///< include wall_ms in the JSON (non-deterministic)
   bool progress = true;  ///< per-point progress lines on stderr
+  /// Print a per-phase wall-clock and simulation-throughput breakdown
+  /// (build / simulate / report phases, simulated Mcycles/s) on stderr.
+  /// Measurement only — artifact bytes are unaffected.
+  bool profile = false;
 };
 
 /// Run the named manifest and print its figure table.  Returns the

@@ -62,6 +62,18 @@ class Partition {
   /// DRAM-domain tick.
   void tick_dram(Cycle now) { mc_->tick(now); }
 
+  /// Earliest core-domain cycle >= now at which tick_core can act on
+  /// state the partition itself holds (idle fast-forward): pending fills
+  /// or staged responses mean `now`; otherwise the front of the L2
+  /// pipeline; kNoCycle when all three are empty.  New crossbar arrivals
+  /// are the crossbar's event, not ours.
+  [[nodiscard]] Cycle next_core_event(Cycle now) const {
+    if (!fills_.empty() || !responses_.empty()) return now;
+    if (pipeline_.empty()) return kNoCycle;
+    return pipeline_.front().ready_at <= now ? now
+                                             : pipeline_.front().ready_at;
+  }
+
   [[nodiscard]] MemoryController& mc() { return *mc_; }
   [[nodiscard]] const MemoryController& mc() const { return *mc_; }
   [[nodiscard]] const Cache& l2() const { return l2_; }

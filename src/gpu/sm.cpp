@@ -28,6 +28,8 @@ Sm::Sm(SmId id, const SmConfig& cfg, InstrSource& gen,
 void Sm::accept_response(Cycle now) {
   auto resp = xbar_.pop_response(id_, now);
   if (!resp) return;
+  ++mem_epoch_;
+  idle_until_ = 0;  // the fill below may wake a warp
   l1_.fill(resp->addr, /*dirty=*/false);
   for (const MemRequest& waiter : mshr_.release(resp->addr)) {
     Warp& w = warps_[waiter.tag.warp];
@@ -75,6 +77,7 @@ void Sm::generate_next(WarpId wid) {
   Warp& w = warps_[wid];
   w.next = gen_.next(id_, wid);
   w.has_next = true;
+  w.issue_fail_epoch = 0;
   if (w.next.kind != WarpInstr::Kind::kCompute) {
     coalescer_.coalesce(w.next, w.lines);
   }
@@ -82,6 +85,13 @@ void Sm::generate_next(WarpId wid) {
 
 bool Sm::issue_memory(WarpId wid, Cycle now) {
   Warp& w = warps_[wid];
+  // Since the last failed attempt for this very instruction, nothing the
+  // classify loop reads has changed: fail again without re-probing (the
+  // stall accounting stays cycle-accurate).
+  if (w.issue_fail_epoch == mem_epoch_ + 1) {
+    ++stats_.issue_stall_mshr;
+    return false;
+  }
   const WarpInstr& instr = w.next;
   const std::vector<Addr>& lines = w.lines;
   const WarpInstrUid uid = next_uid_;
@@ -89,6 +99,7 @@ bool Sm::issue_memory(WarpId wid, Cycle now) {
 
   if (instr.kind == WarpInstr::Kind::kStore) {
     // Write-through, no-allocate: evict any L1 copy, send every line.
+    ++mem_epoch_;
     lsu_.queue.clear();
     for (Addr line : lines) {
       l1_.invalidate(line);
@@ -121,6 +132,7 @@ bool Sm::issue_memory(WarpId wid, Cycle now) {
       ++hits;
     } else if (mshr_.tracking(line)) {
       if (!mshr_.can_accept(line)) {
+        w.issue_fail_epoch = mem_epoch_ + 1;
         ++stats_.issue_stall_mshr;
         return false;
       }
@@ -130,11 +142,13 @@ bool Sm::issue_memory(WarpId wid, Cycle now) {
     }
   }
   if (new_fetches > mshr_.free_entries()) {
+    w.issue_fail_epoch = mem_epoch_ + 1;
     ++stats_.issue_stall_mshr;
     return false;
   }
 
   // Committed: touch hits (LRU + stats), register waiters, queue fetches.
+  ++mem_epoch_;
   lsu_.queue.clear();
   std::uint32_t sent_per_channel[256] = {};
   std::uint32_t seen_per_channel[256] = {};
@@ -219,12 +233,35 @@ void Sm::try_issue(Cycle now) {
     }
   }
   ++stats_.no_ready_warp_cycles;
+  // Nothing issued and every warp holds a pre-generated instruction: the
+  // scan is a no-op until the earliest wake-up (next_event returns `now`
+  // whenever any state — LSU, MSHR stall, missing instruction — makes a
+  // retry meaningful, so this memo never skips a tick that could act).
+  idle_until_ = next_event(now);
 }
 
 void Sm::tick(Cycle now) {
   accept_response(now);
   dispatch_lsu(now);
+  if (now < idle_until_) {
+    // Provably idle scheduler tick (see try_issue): same accounting,
+    // no warp scan.
+    ++stats_.no_ready_warp_cycles;
+    return;
+  }
   try_issue(now);
+}
+
+Cycle Sm::next_event(Cycle now) const {
+  if (lsu_.active) return now;
+  Cycle ev = kNoCycle;
+  for (const Warp& w : warps_) {
+    if (!w.has_next) return now;  // a tick would draw from the shared stream
+    if (w.pending_lines > 0 || w.waiting_lsu) continue;  // response-driven
+    if (w.ready_at <= now) return now;
+    ev = std::min(ev, w.ready_at);
+  }
+  return ev;
 }
 
 }  // namespace latdiv

@@ -68,6 +68,22 @@ class Sm {
   /// Core-domain tick.
   void tick(Cycle now);
 
+  /// Earliest core-domain cycle >= now at which a tick can change this
+  /// SM's own state (idle fast-forward): `now` while the LSU is busy, a
+  /// warp lacks a pre-generated instruction (the next draw from the
+  /// shared instruction stream is globally ordered and must not move), or
+  /// any unblocked warp is ready; otherwise the earliest ready_at of the
+  /// unblocked warps.  Warps blocked on loads are woken externally (the
+  /// crossbar's response queues carry that event), so they contribute
+  /// nothing; kNoCycle when every warp is blocked.
+  [[nodiscard]] Cycle next_event(Cycle now) const;
+
+  /// Credit `n` skipped core ticks of scheduler-idle accounting: a
+  /// skipped tick is precisely one in which no warp could issue.
+  void note_idle_core_ticks(std::uint64_t n) {
+    stats_.no_ready_warp_cycles += n;
+  }
+
   [[nodiscard]] const SmStats& stats() const { return stats_; }
   [[nodiscard]] const Coalescer& coalescer() const { return coalescer_; }
   [[nodiscard]] const Cache& l1() const { return l1_; }
@@ -91,6 +107,11 @@ class Sm {
     bool waiting_lsu = false;         ///< store dispatch in progress
     bool has_next = false;
     WarpInstr next;
+    /// mem_epoch_+1 when issue_memory last failed for `next` (0 = never):
+    /// until the L1/MSHR state changes, re-running the classify loop
+    /// would fail identically, so the retry short-circuits (it still
+    /// counts its issue_stall_mshr tick).
+    std::uint64_t issue_fail_epoch = 0;
     /// Coalesced line set of `next`, computed once at generation time
     /// (issue retries must not re-run the coalescer: it is pure, and
     /// re-running it would double-count statistics and burn host time).
@@ -124,6 +145,14 @@ class Sm {
   Coalescer coalescer_;
   std::vector<Warp> warps_;
   Lsu lsu_;
+  /// Bumped whenever L1 or MSHR contents change (fills, releases,
+  /// invalidates, reservations) — the entire state the issue_memory
+  /// classify loop reads.  Keys the per-warp issue_fail_epoch memo.
+  std::uint64_t mem_epoch_ = 0;
+  /// Until this cycle no warp can issue (set by a fully-failed scheduler
+  /// scan via next_event(); reset whenever a response wakes a warp).  A
+  /// tick before it skips the warp scan and just counts the idle cycle.
+  Cycle idle_until_ = 0;
   WarpId last_issued_ = 0;
   WarpInstrUid next_uid_;
   WarpInstrUid uid_stride_;

@@ -1,5 +1,7 @@
 #include "icnt/crossbar.hpp"
 
+#include <algorithm>
+
 namespace latdiv {
 
 Crossbar::Crossbar(const IcntConfig& cfg)
@@ -23,6 +25,7 @@ void Crossbar::inject_request(SmId sm, MemRequest req, Cycle now) {
   LATDIV_ASSERT(can_inject_request(sm), "SM injection queue overflow");
   (void)now;
   sm_queues_[sm].push_back(req);
+  ++sm_queued_;
 }
 
 const MemRequest* Crossbar::peek_request(ChannelId part, Cycle now) const {
@@ -48,6 +51,7 @@ void Crossbar::inject_response(ChannelId part, MemResponse resp, Cycle now) {
   LATDIV_ASSERT(can_inject_response(part), "partition response overflow");
   (void)now;
   part_out_[part].push_back(resp);
+  ++part_out_queued_;
 }
 
 std::optional<MemResponse> Crossbar::pop_response(SmId sm, Cycle now) {
@@ -61,7 +65,9 @@ std::optional<MemResponse> Crossbar::pop_response(SmId sm, Cycle now) {
 
 void Crossbar::tick(Cycle now) {
   // Request crossbar: each partition grants one SM whose head targets it.
-  for (std::uint32_t p = 0; p < cfg_.partitions; ++p) {
+  // With no queued injections no grant is possible and the arbitration
+  // pointers cannot move — skip the whole grant scan.
+  for (std::uint32_t p = 0; sm_queued_ != 0 && p < cfg_.partitions; ++p) {
     if (part_in_[p].size() >= cfg_.partition_in_depth) continue;
 
     auto head_targets_p = [&](std::uint32_t sm) {
@@ -88,22 +94,36 @@ void Crossbar::tick(Cycle now) {
     part_in_[p].push_back(
         {now + cfg_.request_latency, sm_queues_[granted].front()});
     sm_queues_[granted].pop_front();
+    --sm_queued_;
     ++stats_.requests_moved;
   }
 
   // Response crossbar: each SM accepts one response per cycle.
-  for (std::uint32_t sm = 0; sm < cfg_.sms; ++sm) {
+  for (std::uint32_t sm = 0; part_out_queued_ != 0 && sm < cfg_.sms; ++sm) {
     for (std::uint32_t off = 0; off < cfg_.partitions; ++off) {
       const std::uint32_t p = (sm_rr_[sm] + off) % cfg_.partitions;
       if (part_out_[p].empty() || part_out_[p].front().tag.sm != sm) continue;
       sm_in_[sm].push_back(
           {now + cfg_.response_latency, part_out_[p].front()});
       part_out_[p].pop_front();
+      --part_out_queued_;
       sm_rr_[sm] = (p + 1) % cfg_.partitions;
       ++stats_.responses_moved;
       break;
     }
   }
+}
+
+Cycle Crossbar::next_event(Cycle now) const {
+  if (sm_queued_ != 0 || part_out_queued_ != 0) return now;
+  Cycle ev = kNoCycle;
+  for (const auto& q : part_in_) {
+    if (!q.empty()) ev = std::min(ev, q.front().ready_at);
+  }
+  for (const auto& q : sm_in_) {
+    if (!q.empty()) ev = std::min(ev, q.front().ready_at);
+  }
+  return ev;
 }
 
 }  // namespace latdiv

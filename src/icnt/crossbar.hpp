@@ -67,6 +67,12 @@ class Crossbar {
   /// Arbitrate and move packets; call once per interconnect cycle.
   void tick(Cycle now);
 
+  /// Earliest core-domain cycle >= now at which the crossbar can move or
+  /// deliver a packet (idle fast-forward): `now` while any injection or
+  /// partition-output queue holds work, else the earliest in-flight
+  /// delivery time; kNoCycle when completely empty.
+  [[nodiscard]] Cycle next_event(Cycle now) const;
+
   void count_inject_stall() { ++stats_.inject_stalls; }
   [[nodiscard]] const IcntStats& stats() const { return stats_; }
   [[nodiscard]] const IcntConfig& config() const { return cfg_; }
@@ -86,6 +92,10 @@ class Crossbar {
   std::vector<std::uint32_t> part_rr_;      ///< per-partition SM pointer
   std::vector<std::uint32_t> part_sticky_;  ///< last granted SM (sticky mode)
   std::vector<std::uint32_t> sm_rr_;        ///< per-SM partition pointer
+  /// Occupancy totals across sm_queues_ / part_out_, so tick() and
+  /// next_event() skip the grant scans when there is nothing to move.
+  std::size_t sm_queued_ = 0;
+  std::size_t part_out_queued_ = 0;
   IcntStats stats_;
 };
 

@@ -51,6 +51,7 @@ MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
       write_q_(cfg.write_queue_size),
       bank_q_(timing.banks),
       bank_meta_(timing.banks),
+      bank_epoch_(timing.banks, 0),
       rr_bank_in_group_(timing.banks / timing.banks_per_group, 0) {
   LATDIV_ASSERT(policy_ != nullptr, "controller needs a policy");
   LATDIV_ASSERT(cfg.wq_low_watermark < cfg.wq_high_watermark &&
@@ -60,6 +61,7 @@ MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
 
 void MemoryController::push(MemRequest req, Cycle now) {
   req.arrived_at_mc = now;
+  ++mutation_epoch_;
   if (req.kind == ReqKind::kRead) {
     LATDIV_ASSERT(!read_q_.full(), "read queue overflow");
     read_q_.push(req);
@@ -73,10 +75,12 @@ void MemoryController::push(MemRequest req, Cycle now) {
 }
 
 void MemoryController::notify_group_complete(const WarpTag& tag, Cycle now) {
+  ++mutation_epoch_;
   policy_->on_group_complete(*this, tag, now);
 }
 
 void MemoryController::deliver_coordination(const CoordMsg& msg, Cycle now) {
+  ++mutation_epoch_;
   policy_->on_remote_selection(*this, msg, now);
 }
 
@@ -118,16 +122,11 @@ void MemoryController::send_to_bank(MemRequest req, Cycle now) {
     meta.tail_row = req.loc.row;
     meta.tail_streak = 1;
   }
+  if (bank_q_[bank].empty()) ++nonempty_banks_;
   bank_q_[bank].push_back(req);
   ++cmdq_total_;
-}
-
-std::uint32_t MemoryController::banks_with_work() const {
-  std::uint32_t n = 0;
-  for (const auto& q : bank_q_) {
-    if (!q.empty()) ++n;
-  }
-  return n;
+  ++mutation_epoch_;
+  ++bank_epoch_[bank];
 }
 
 void MemoryController::announce_selection(const WarpTag& tag,
@@ -148,19 +147,23 @@ void MemoryController::update_drain_mode(Cycle now) {
       write_mode_ = true;
       opportunistic_mode_ = false;
       ++stats_.drains_started;
+      ++mutation_epoch_;
       policy_->on_drain_start(*this, now);
     } else if (cfg_.opportunistic_drain && read_q_.empty() &&
                !write_q_.empty() && all_bank_queues_empty()) {
       write_mode_ = true;
       opportunistic_mode_ = true;
+      ++mutation_epoch_;
     }
   } else {
     if (write_q_.size() <= cfg_.wq_low_watermark) {
       write_mode_ = false;
+      ++mutation_epoch_;
     } else if (opportunistic_mode_ && !read_q_.empty() &&
                write_q_.size() < cfg_.wq_high_watermark) {
       // A read arrived during an opportunistic drain: yield to it.
       write_mode_ = false;
+      ++mutation_epoch_;
     }
   }
 }
@@ -186,7 +189,10 @@ void MemoryController::issue_one_command(Cycle now) {
   if (channel_.refresh_due(now)) {
     if (channel_.all_banks_closed()) {
       const DramCommand ref{DramCmd::kRefresh, 0, kNoRow};
-      if (channel_.can_issue(ref, now)) channel_.issue(ref, now);
+      if (channel_.can_issue(ref, now)) {
+        channel_.issue(ref, now);
+        ++mutation_epoch_;
+      }
       return;
     }
     const auto banks = static_cast<BankId>(channel_.timing().banks);
@@ -194,11 +200,15 @@ void MemoryController::issue_one_command(Cycle now) {
       const DramCommand pre{DramCmd::kPrecharge, b, kNoRow};
       if (channel_.open_row(b) != kNoRow && channel_.can_issue(pre, now)) {
         channel_.issue(pre, now);
+        ++mutation_epoch_;
+        ++bank_epoch_[b];
         return;
       }
     }
     return;  // waiting on tRAS/tRTP/tWR before banks can close
   }
+
+  if (cmdq_total_ == 0) return;  // every bank queue is empty
 
   const DramTiming& t = channel_.timing();
   const std::uint32_t groups = t.banks / t.banks_per_group;
@@ -224,9 +234,12 @@ void MemoryController::issue_one_command(Cycle now) {
       if (!channel_.can_issue(cmd, now)) continue;
 
       const Cycle done = channel_.issue(cmd, now);
+      ++mutation_epoch_;
+      ++bank_epoch_[bank];
       if (cmd.cmd == DramCmd::kRead || cmd.cmd == DramCmd::kWrite) {
         MemRequest req = bank_q_[bank].front();
         bank_q_[bank].pop_front();
+        if (bank_q_[bank].empty()) --nonempty_banks_;
         LATDIV_DCHECK(req.loc.bank == bank && req.loc.row == cmd.row,
                       "CAS issued for a request other than the bank head");
         --cmdq_total_;

@@ -17,6 +17,7 @@
 // so that the transaction scheduler's decisions are preserved.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/channel.hpp"
@@ -124,7 +126,50 @@ class MemoryController {
   /// Total requests sitting in all bank command queues.
   [[nodiscard]] std::size_t commands_pending() const { return cmdq_total_; }
   /// Number of banks with a non-empty command queue (MERB table index).
-  [[nodiscard]] std::uint32_t banks_with_work() const;
+  [[nodiscard]] std::uint32_t banks_with_work() const {
+    return nonempty_banks_;
+  }
+
+  // --- change tracking (policy score caches) ---
+  /// Bumped whenever `bank`'s scheduling-visible state changes: its
+  /// command queue contents, its insertion metadata (predicted row /
+  /// tail streak) or its DRAM array state (open row).  Policies key
+  /// per-bank score caches on this.
+  [[nodiscard]] std::uint64_t bank_epoch(BankId bank) const {
+    LATDIV_DCHECK(bank < bank_epoch_.size(), "bank out of range");
+    return bank_epoch_[bank];
+  }
+  /// Bumped on every controller-state change a transaction scheduler can
+  /// observe (queue pushes and pulls, command issue, drain-mode flips,
+  /// group-completion and coordination deliveries).  A scheduling
+  /// decision that failed at epoch E cannot succeed at epoch E unless
+  /// time alone changes the answer.
+  [[nodiscard]] std::uint64_t mutation_epoch() const {
+    return mutation_epoch_;
+  }
+
+  // --- idle fast-forward (Simulator::run) ---
+  /// Earliest cycle >= now at which a tick can change controller state:
+  /// `now` while any queue holds work, a drain-mode flip is pending, the
+  /// policy is not quiescent, or coordination messages await pickup;
+  /// otherwise the earliest of the next in-flight read completion and the
+  /// next refresh deadline (kNoCycle when fully drained and refresh-free).
+  [[nodiscard]] Cycle next_event(Cycle now) const {
+    if (!read_q_.empty() || !write_q_.empty() || cmdq_total_ != 0 ||
+        !outbox_.empty() || write_mode_ || !policy_->quiescent()) {
+      return now;
+    }
+    Cycle ev = channel_.next_refresh_at();
+    if (!inflight_reads_.empty()) {
+      ev = std::min(ev, inflight_reads_.top().done);
+    }
+    return ev;
+  }
+  /// Credit `n` skipped cycles of per-cycle idle accounting.
+  void note_idle_cycles(std::uint64_t n) { channel_.note_idle_cycles(n); }
+  [[nodiscard]] const std::vector<CoordMsg>& outbox() const {
+    return outbox_;
+  }
 
   // Fig. 12 accounting: policies report the warp-groups stalled when a
   // drain begins.
@@ -132,6 +177,7 @@ class MemoryController {
 
   [[nodiscard]] const McStats& stats() const { return stats_; }
   [[nodiscard]] TransactionScheduler& policy() { return *policy_; }
+  [[nodiscard]] const TransactionScheduler& policy() const { return *policy_; }
 
  private:
   struct BankQueueMeta {
@@ -162,6 +208,11 @@ class MemoryController {
   std::vector<std::deque<MemRequest>> bank_q_;
   std::vector<BankQueueMeta> bank_meta_;
   std::size_t cmdq_total_ = 0;
+  std::uint32_t nonempty_banks_ = 0;
+
+  // Change counters for policy-side caches (see bank_epoch()).
+  std::vector<std::uint64_t> bank_epoch_;
+  std::uint64_t mutation_epoch_ = 0;
 
   bool write_mode_ = false;
   bool opportunistic_mode_ = false;

@@ -16,6 +16,7 @@
 namespace latdiv {
 
 class MemoryController;
+struct WgStats;
 
 /// Coordination message exchanged between controllers (WG-M, §IV-C):
 /// 32 bits on the wire — SM id, warp id, and the local completion-time
@@ -65,6 +66,19 @@ class TransactionScheduler {
 
   /// SBWAS interleaves writes with reads instead of using drain bursts.
   [[nodiscard]] virtual bool wants_interleaved_writes() const { return false; }
+
+  /// Warp-group statistics view, for policies that keep warp-group
+  /// bookkeeping (the WG family).  Wrapper policies should forward to the
+  /// wrapped scheduler so Simulator::collect() can aggregate WG counters
+  /// without downcasting concrete types.  Null when the policy has none.
+  [[nodiscard]] virtual const WgStats* wg_stats() const { return nullptr; }
+
+  /// True when the policy is a pure function of the controller's queue
+  /// and bank state: with no queued work it does nothing until new work
+  /// arrives.  Idle fast-forward (Simulator::run) skips a controller's
+  /// cycles only while this holds; a custom policy with internal
+  /// time-driven state must return false.
+  [[nodiscard]] virtual bool quiescent() const { return true; }
 };
 
 }  // namespace latdiv

@@ -87,6 +87,15 @@ struct SimConfig {
   Cycle max_cycles = 300'000;
   Cycle warmup_cycles = 30'000;
 
+  /// Skip cycles in which no component can act (Simulator::run only;
+  /// step() always advances one cycle).  Cycle numbering, statistics and
+  /// results are bit-identical either way — the skipped cycles are
+  /// provably dead and their idle-accounting counters are credited in
+  /// bulk.  Disable to cross-check (tests/test_fast_forward.cpp) or to
+  /// drive time-sensitive custom policies that cannot report
+  /// quiescent() == false.
+  bool idle_fast_forward = true;
+
   // Correctness checkers.
   CheckConfig check;
 

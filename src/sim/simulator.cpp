@@ -187,18 +187,84 @@ std::uint64_t Simulator::total_instructions() const {
 }
 
 RunResult Simulator::run() {
-  while (now_ < cfg_.max_cycles) step();
+  while (now_ < cfg_.max_cycles) {
+    step();
+    if (cfg_.idle_fast_forward) fast_forward();
+  }
   for (auto& checker : protocol_checkers_) checker->finalize(now_);
   if (invariant_checker_) audit_invariants();
   return collect();
 }
 
+void Simulator::fast_forward() {
+  // Earliest cycle >= now_ at which any component can change state.  Each
+  // probe early-outs: one component busy now means no skip at all.  The
+  // DRAM side is probed first — it is the cheapest check and the most
+  // likely to be busy.
+  Cycle target = kNoCycle;
+  for (const auto& part : partitions_) {
+    const Cycle e = part->mc().next_event(now_);
+    if (e <= now_) return;
+    target = std::min(target, e);
+  }
+  const Cycle coord_ev = coord_->next_event(now_);
+  if (coord_ev <= now_) return;
+  target = std::min(target, coord_ev);
+
+  // Core-domain events only take effect at a core tick; align them up.
+  Cycle core = xbar_.next_event(now_);
+  for (const auto& sm : sms_) {
+    if (core <= now_) break;
+    core = std::min(core, sm->next_event(now_));
+  }
+  for (const auto& part : partitions_) {
+    if (core <= now_) break;
+    core = std::min(core, part->next_core_event(now_));
+  }
+  const Cycle ratio = cfg_.sm.core_clock_ratio;
+  if (core != kNoCycle) {
+    const Cycle at = std::max(core, now_);
+    target = std::min(target, (at + ratio - 1) / ratio * ratio);
+  }
+  if (target <= now_) return;
+
+  // Never skip past the end of the run, the warmup-capture cycle, or the
+  // next scheduled invariant audit — those fire at exact now_ values.
+  Cycle limit = std::min(target, cfg_.max_cycles);
+  if (warmup_done_at_ == 0) limit = std::min(limit, cfg_.warmup_cycles);
+  if (invariant_checker_) {
+    limit = std::min(
+        limit, (now_ / cfg_.check.audit_interval + 1) * cfg_.check.audit_interval);
+  }
+  if (limit <= now_) return;
+
+  // Cycles [now_, limit) are dead: no instruction issues, no packet
+  // moves, no DRAM command is legal-and-wanted.  The only per-cycle
+  // effects of stepping through them are the idle counters — credit
+  // those in bulk and jump.
+  const std::uint64_t skipped = limit - now_;
+  for (auto& part : partitions_) part->mc().note_idle_cycles(skipped);
+  const Cycle first_core_tick = (now_ + ratio - 1) / ratio * ratio;
+  if (first_core_tick < limit) {
+    const std::uint64_t core_ticks = (limit - 1 - first_core_tick) / ratio + 1;
+    for (auto& sm : sms_) sm->note_idle_core_ticks(core_ticks);
+  }
+  now_ = limit;
+
+  if (invariant_checker_ && now_ % cfg_.check.audit_interval == 0) {
+    audit_invariants();
+  }
+  if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
+    warmup_done_at_ = now_;
+    warmup_instructions_ = total_instructions();
+  }
+}
+
 RunResult Simulator::collect() const {
   RunResult r;
   r.workload = cfg_.workload.name;
-  r.scheduler = cfg_.custom_policy
-                    ? const_cast<Partition&>(*partitions_[0]).mc().policy().name()
-                    : to_string(cfg_.scheduler);
+  r.scheduler = cfg_.custom_policy ? partitions_[0]->mc().policy().name()
+                                   : to_string(cfg_.scheduler);
   r.dram_cycles = now_;
   r.core_cycles = now_ / cfg_.sm.core_clock_ratio;
   r.instructions = total_instructions();
@@ -270,13 +336,12 @@ RunResult Simulator::collect() const {
     mc_service.merge(part->mc().stats().read_service_cycles);
     r.mc_drains_started += part->mc().stats().drains_started;
 
-    if (auto* wg = dynamic_cast<const WgPolicy*>(
-            &const_cast<Partition&>(*part).mc().policy())) {
-      r.wg_groups_selected += wg->wg_stats().groups_selected;
-      r.wg_fallback_selections += wg->wg_stats().fallback_selections;
-      r.wg_merb_deferrals += wg->wg_stats().merb_deferrals;
-      r.wg_writeaware_selections += wg->wg_stats().writeaware_selections;
-      r.wg_shared_boosts += wg->wg_stats().shared_boosts;
+    if (const WgStats* wg = part->mc().policy().wg_stats()) {
+      r.wg_groups_selected += wg->groups_selected;
+      r.wg_fallback_selections += wg->fallback_selections;
+      r.wg_merb_deferrals += wg->merb_deferrals;
+      r.wg_writeaware_selections += wg->writeaware_selections;
+      r.wg_shared_boosts += wg->shared_boosts;
     }
   }
   const double chans = static_cast<double>(partitions_.size());

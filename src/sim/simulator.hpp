@@ -53,6 +53,11 @@ class Simulator {
 
  private:
   void audit_invariants();
+  /// Idle fast-forward (run() only): when every component reports its
+  /// next event strictly after now_, jump now_ there directly, crediting
+  /// the skipped cycles' idle accounting in bulk.  Clamped so warmup
+  /// capture and invariant audits still happen at their exact cycles.
+  void fast_forward();
   [[nodiscard]] std::unique_ptr<TransactionScheduler> make_policy(ChannelId id);
   [[nodiscard]] std::uint64_t total_instructions() const;
   RunResult collect() const;

@@ -115,7 +115,7 @@ TEST(WgShared, SharedRowsFlipSelection) {
   for (Cycle c = 0; c < 600; ++c) mc.tick(c);
   ASSERT_GE(order.size(), 2u);
   EXPECT_EQ(order[0], 1u) << "shared-row group must be boosted ahead";
-  EXPECT_GE(wg->wg_stats().shared_boosts, 1u);
+  EXPECT_GE(wg->wg_stats()->shared_boosts, 1u);
 }
 
 TEST(WgShared, EndToEndSchedulerKind) {

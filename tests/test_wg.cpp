@@ -87,7 +87,7 @@ TEST(Wg, CompletionSignalReleasesGroup) {
   h.mc.notify_group_complete(WarpTag{0, 1, 1}, h.now);
   h.run_to(300);
   EXPECT_EQ(h.order.size(), 1u);
-  EXPECT_EQ(h.wg->wg_stats().groups_completed, 1u);
+  EXPECT_EQ(h.wg->wg_stats()->groups_completed, 1u);
 }
 
 TEST(Wg, ShortestJobFirst) {
@@ -185,7 +185,7 @@ TEST(WgM, RemoteLaggardBoostApplied) {
   ASSERT_EQ(uids.size(), 3u);
   EXPECT_EQ(uids[0], 1u);
   EXPECT_EQ(uids[1], 1u);
-  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 1u);
+  EXPECT_EQ(h.wg->wg_stats()->coord_msgs_applied, 1u);
 }
 
 TEST(WgM, RemoteAheadOfUsIsIgnored) {
@@ -198,7 +198,7 @@ TEST(WgM, RemoteAheadOfUsIsIgnored) {
   h.mc.deliver_coordination(CoordMsg{1, WarpTag{0, 1, 1}, 1000}, 0);
   h.run_to(1000);
   EXPECT_EQ(h.service_order()[0], 2u);
-  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 0u);
+  EXPECT_EQ(h.wg->wg_stats()->coord_msgs_applied, 0u);
 }
 
 TEST(WgM, MessageBeforeArrivalIsReplayed) {
@@ -215,7 +215,7 @@ TEST(WgM, MessageBeforeArrivalIsReplayed) {
   const auto uids = h.service_order();
   ASSERT_EQ(uids.size(), 3u);
   EXPECT_EQ(uids[0], 1u);
-  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 1u);
+  EXPECT_EQ(h.wg->wg_stats()->coord_msgs_applied, 1u);
 }
 
 TEST(WgM, StaleMessagesExpire) {
@@ -229,7 +229,7 @@ TEST(WgM, StaleMessagesExpire) {
   h.push_group(2, {read_to(0, 2, 0, 2)});
   h.run_to(1000);
   EXPECT_EQ(h.service_order()[0], 2u) << "expired message must not boost";
-  EXPECT_EQ(h.wg->wg_stats().coord_msgs_applied, 0u);
+  EXPECT_EQ(h.wg->wg_stats()->coord_msgs_applied, 0u);
 }
 
 TEST(WgM, SelectionsAreAnnounced) {
@@ -262,7 +262,7 @@ TEST(WgBw, MerbDefersRowMissBehindFillers) {
   // All of group 7's row hits must be serviced before group 1's miss
   // (single-bank MERB threshold is 31, far above the 5 available hits).
   EXPECT_EQ(uids.back(), 1u);
-  EXPECT_GE(h.wg->wg_stats().merb_deferrals, 3u);
+  EXPECT_GE(h.wg->wg_stats()->merb_deferrals, 3u);
 }
 
 TEST(WgPlain, NoMerbMeansMissGoesStraightIn) {
@@ -276,7 +276,7 @@ TEST(WgPlain, NoMerbMeansMissGoesStraightIn) {
   const auto uids = h.service_order();
   ASSERT_EQ(uids.size(), 3u);  // group 7 stays incomplete and unserved
   EXPECT_EQ(uids.back(), 1u);
-  EXPECT_EQ(h.wg->wg_stats().merb_deferrals, 0u);
+  EXPECT_EQ(h.wg->wg_stats()->merb_deferrals, 0u);
 }
 
 TEST(WgW, UnitGroupJumpsQueueUnderWritePressure) {
@@ -298,7 +298,7 @@ TEST(WgW, UnitGroupJumpsQueueUnderWritePressure) {
   h.push_group(1, {read_to(0, 1, 0, 1), read_to(1, 1, 0, 1)});
   h.push_group(2, {read_to(2, 1, 0, 2)});
   h.run_to(20);
-  EXPECT_GE(h.wg->wg_stats().writeaware_selections, 1u);
+  EXPECT_GE(h.wg->wg_stats()->writeaware_selections, 1u);
 }
 
 TEST(Wg, FallbackRescuesIncompleteGroupsUnderPressure) {
@@ -314,7 +314,7 @@ TEST(Wg, FallbackRescuesIncompleteGroupsUnderPressure) {
   EXPECT_FALSE(h.mc.can_accept_read());
   h.run_to(5000);
   EXPECT_GT(h.order.size(), 0u) << "liveness: queue must drain";
-  EXPECT_GT(h.wg->wg_stats().fallback_selections, 0u);
+  EXPECT_GT(h.wg->wg_stats()->fallback_selections, 0u);
 }
 
 TEST(Wg, AgedIncompleteGroupDrainsEventually) {
@@ -348,8 +348,8 @@ TEST(Wg, GroupSizeStatTracksSeenRequests) {
   h.push_group(1, {read_to(0, 1, 0, 1), read_to(1, 1, 0, 1),
                    read_to(2, 1, 0, 1)});
   h.run_to(100);
-  EXPECT_EQ(h.wg->wg_stats().groups_selected, 1u);
-  EXPECT_DOUBLE_EQ(h.wg->wg_stats().group_size.mean(), 3.0);
+  EXPECT_EQ(h.wg->wg_stats()->groups_selected, 1u);
+  EXPECT_DOUBLE_EQ(h.wg->wg_stats()->group_size.mean(), 3.0);
 }
 
 TEST(Wg, GroupLargerThanBankQueueStillDrains) {

@@ -48,6 +48,8 @@ void usage(std::FILE* out) {
                "  --csv FILE        write the CSV artifact\n"
                "  --timings         include per-point wall_ms in the JSON "
                "(non-deterministic)\n"
+               "  --profile         per-phase wall-clock + simulated "
+               "Mcycles/s on stderr\n"
                "  --quiet           no per-point progress on stderr\n"
                "  --check FILE      golden-check the artifact against FILE\n"
                "  --default-tol R   relative tolerance for --check "
@@ -183,6 +185,8 @@ int cmd_run(const std::string& manifest, int argc, char** argv) {
       args.out_csv = next_arg(argc, argv, i);
     } else if (std::strcmp(flag, "--timings") == 0) {
       args.timings = true;
+    } else if (std::strcmp(flag, "--profile") == 0) {
+      args.profile = true;
     } else if (std::strcmp(flag, "--quiet") == 0) {
       args.progress = false;
     } else if (std::strcmp(flag, "--check") == 0) {
