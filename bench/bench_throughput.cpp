@@ -28,12 +28,24 @@ struct Measured {
   double mcycles_per_s = 0.0;  ///< simulated DRAM Mcycles / wall second
 };
 
+enum class ObsMode {
+  kOff,      ///< no hub at all — the shipping disabled path
+  kMetrics,  ///< hub present, histograms only (no sink, no sampling)
+  kTrace,    ///< full request-lifecycle tracing into the in-memory sink
+};
+
 Measured measure(const WorkloadProfile& w, SchedulerKind sched,
-                 const Options& opts, bool fast_forward) {
+                 const Options& opts, bool fast_forward,
+                 ObsMode obs = ObsMode::kOff) {
   const auto start = std::chrono::steady_clock::now();  // lint: wall-clock-ok
-  const RunResult r = run_point(
-      w, sched, opts,
-      [&](SimConfig& cfg) { cfg.idle_fast_forward = fast_forward; });
+  const RunResult r = run_point(w, sched, opts, [&](SimConfig& cfg) {
+    cfg.idle_fast_forward = fast_forward;
+    if (obs == ObsMode::kMetrics) {
+      cfg.obs.metrics_path = "/dev/null";  // enables the hub, nothing else
+    } else if (obs == ObsMode::kTrace) {
+      cfg.obs.trace = true;  // no trace_path: buffers in memory only
+    }
+  });
   const double wall_s =
       std::chrono::duration<double>(
           std::chrono::steady_clock::now() - start)  // lint: wall-clock-ok
@@ -43,6 +55,52 @@ Measured measure(const WorkloadProfile& w, SchedulerKind sched,
   m.mcycles_per_s =
       wall_s > 0.0 ? static_cast<double>(r.dram_cycles) / 1e6 / wall_s : 0.0;
   return m;
+}
+
+/// Observability pricing: the disabled path must cost nothing measurable
+/// (<1% — it is one null-pointer branch per would-be event), and enabled
+/// modes must never perturb simulated results.  Any IPC difference across
+/// modes aborts the bench; wall-clock ratios are reported for trend
+/// tracking (EXPERIMENTS.md records reference numbers).
+int obs_overhead_section(const Options& opts) {
+  std::printf("\nobservability overhead — obs off / repeat (noise floor) / "
+              "metrics-only / full tracing\n");
+  print_row("workload",
+            {"sched", "off Mc/s", "noise", "metrics x", "trace x"});
+  for (const WorkloadProfile& w : irregular_suite()) {
+    for (const SchedulerKind sched :
+         {SchedulerKind::kGmc, SchedulerKind::kWgW}) {
+      const char* sname = sched == SchedulerKind::kGmc ? "GMC" : "WG-W";
+      const Measured off1 = measure(w, sched, opts, true, ObsMode::kOff);
+      const Measured off2 = measure(w, sched, opts, true, ObsMode::kOff);
+      const Measured met = measure(w, sched, opts, true, ObsMode::kMetrics);
+      const Measured trc = measure(w, sched, opts, true, ObsMode::kTrace);
+      if (off1.ipc != off2.ipc || off1.ipc != met.ipc ||
+          off1.ipc != trc.ipc) {
+        std::fprintf(stderr,
+                     "bench_throughput: observability perturbed %s/%s IPC "
+                     "(off %.6f, metrics %.6f, trace %.6f)\n",
+                     w.name.c_str(), sname, off1.ipc, met.ipc, trc.ipc);
+        return 1;
+      }
+      // Noise floor: relative spread of two identical disabled runs.
+      const double base =
+          0.5 * (off1.mcycles_per_s + off2.mcycles_per_s);
+      const double noise =
+          base > 0.0
+              ? std::fabs(off1.mcycles_per_s - off2.mcycles_per_s) / base
+              : 0.0;
+      print_row(w.name,
+                {sname, fixed(base, 2), fixed(noise * 100.0, 1) + "%",
+                 fixed(safe_ratio(base, met.mcycles_per_s), 2),
+                 fixed(safe_ratio(base, trc.mcycles_per_s), 2)});
+    }
+  }
+  std::printf("\nthe disabled path *is* the baseline path (a null hub "
+              "pointer per event site); compare 'off Mc/s' against the "
+              "reference numbers in EXPERIMENTS.md — drift beyond the "
+              "noise column flags a regression.\n");
+  return 0;
 }
 
 }  // namespace
@@ -80,5 +138,5 @@ int main(int argc, char** argv) {
   std::printf("\nfast-forward helps most while every component is idle "
               "(warmup tails, drained phases); dense phases run at the "
               "baseline rate.\n");
-  return 0;
+  return obs_overhead_section(opts);
 }

@@ -3,7 +3,7 @@
 // The Channel both answers can_issue() and enforces it, so a bug in its
 // timing bookkeeping is invisible to the controller that queries it — the
 // two agree by construction.  ProtocolChecker breaks that correlation: it
-// observes the raw command stream through Channel::set_command_observer()
+// observes the raw command stream through Channel::add_command_observer()
 // and re-validates every JEDEC constraint from the paper's Table II with
 // its own shadow state machine, written directly from the rule definitions
 // (last-event timestamps per bank) rather than the Channel's derived

@@ -9,6 +9,8 @@ namespace latdiv {
 Channel::Channel(const DramTiming& timing)
     : timing_(timing), banks_(timing.banks) {
   next_refresh_at_ = timing_.trefi;
+  stats_.per_bank_activates.assign(timing.banks, 0);
+  stats_.per_bank_precharges.assign(timing.banks, 0);
 }
 
 RowId Channel::open_row(BankId bank) const {
@@ -89,7 +91,7 @@ bool Channel::can_issue(const DramCommand& cmd, Cycle now) const {
 }
 
 Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
-  if (observer_) observer_(cmd, now);
+  for (const CommandObserver& obs : observers_) obs(cmd, now);
   LATDIV_ASSERT(can_issue(cmd, now), "illegal DRAM command issued");
   LATDIV_ASSERT(last_cmd_cycle_ == kNoCycle || now > last_cmd_cycle_,
                 "two commands in one cycle on a single command bus");
@@ -107,6 +109,7 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
       act_window_[act_window_pos_] = now;
       act_window_pos_ = (act_window_pos_ + 1) % act_window_.size();
       ++stats_.activates;
+      ++stats_.per_bank_activates[cmd.bank];
       return kNoCycle;
     }
     case DramCmd::kPrecharge: {
@@ -114,6 +117,7 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
       b.row = kNoRow;
       b.earliest_act = std::max(b.earliest_act, now + timing_.trp);
       ++stats_.precharges;
+      ++stats_.per_bank_precharges[cmd.bank];
       return kNoCycle;
     }
     case DramCmd::kRead: {

@@ -36,6 +36,11 @@ struct ChannelStats {
   std::uint64_t refreshes = 0;
   std::uint64_t data_bus_busy_cycles = 0;  ///< cycles a burst occupied the bus
   std::uint64_t all_banks_idle_cycles = 0; ///< sampled by on_cycle_end()
+  // Per-bank breakdowns (sum over banks == the aggregate above).  Sized by
+  // the channel to timing.banks; ground truth for the tracing layer's
+  // per-bank ACT/PRE event counts.
+  std::vector<std::uint64_t> per_bank_activates;
+  std::vector<std::uint64_t> per_bank_precharges;
 };
 
 class Channel {
@@ -51,12 +56,14 @@ class Channel {
   /// data has been accepted; kNoCycle for non-data commands.
   Cycle issue(const DramCommand& cmd, Cycle now);
 
-  /// Observer invoked at the top of issue() for every command, before any
-  /// state change.  Used by the protocol-conformance checker (src/check)
-  /// to shadow-validate the command stream independently of can_issue().
+  /// Observers invoked at the top of issue() for every command, before any
+  /// state change, in attachment order.  Used by the protocol-conformance
+  /// checker (src/check) to shadow-validate the command stream
+  /// independently of can_issue(), and by the introspection layer
+  /// (src/obs) to narrate ACT/PRE/REF onto the trace timeline.
   using CommandObserver = std::function<void(const DramCommand&, Cycle)>;
-  void set_command_observer(CommandObserver obs) {
-    observer_ = std::move(obs);
+  void add_command_observer(CommandObserver obs) {
+    observers_.push_back(std::move(obs));
   }
 
   /// Row currently open in `bank` (kNoRow if precharged).
@@ -126,7 +133,7 @@ class Channel {
   Cycle data_bus_free_at_ = 0;
   Cycle next_refresh_at_ = 0;
 
-  CommandObserver observer_;
+  std::vector<CommandObserver> observers_;
   ChannelStats stats_;
 };
 

@@ -1,7 +1,10 @@
 #include "exp/driver.hpp"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +30,56 @@ bool read_file(const std::string& path, std::string& contents) {
   return true;
 }
 
+/// Peak resident set size in MiB (0.0 if unavailable).  Linux reports
+/// ru_maxrss in KiB.
+double peak_rss_mib() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// File-name-safe form of a point id ("fig8/gmc/s1" -> "fig8_gmc_s1").
+std::string sanitize_id(const std::string& id) {
+  std::string s = id;
+  for (char& c : s) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  return s;
+}
+
+/// Wraps every simulated point's config hook so the run writes per-point
+/// trace / time-series artifacts under the requested directories.  The
+/// base hook (ablation knobs) runs first; obs settings are applied on
+/// top and never alter simulated behaviour.
+void attach_obs_outputs(Manifest& manifest, const SweepRunArgs& args) {
+  if (args.trace_dir.empty() && args.timeseries_dir.empty()) return;
+  for (ExpPoint& p : manifest.grid.points_mut()) {
+    if (p.analytic) continue;  // no simulator, nothing to trace
+    const std::string fname = sanitize_id(p.id);
+    const std::string trace_path =
+        args.trace_dir.empty() ? std::string{}
+                               : args.trace_dir + "/" + fname + ".trace.json";
+    const std::string ts_path =
+        args.timeseries_dir.empty()
+            ? std::string{}
+            : args.timeseries_dir + "/" + fname + ".timeseries.csv";
+    const std::uint64_t interval = args.sample_interval;
+    const ConfigHook base = p.hook;
+    p.hook = [base, trace_path, ts_path, interval](SimConfig& cfg) {
+      if (base) base(cfg);
+      if (!trace_path.empty()) {
+        cfg.obs.trace = true;
+        cfg.obs.trace_path = trace_path;
+      }
+      if (!ts_path.empty()) {
+        cfg.obs.timeseries = true;
+        cfg.obs.timeseries_path = ts_path;
+      }
+      cfg.obs.sample_interval = interval;
+    };
+  }
+}
+
 }  // namespace
 
 int run_manifest(const std::string& name, const SweepRunArgs& args) {
@@ -45,6 +98,21 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
                  args.opts.filter.c_str(), name.c_str());
     return 2;
   }
+  if (args.sample_interval == 0) {
+    std::fprintf(stderr, "latdiv-sweep: --sample-interval must be > 0\n");
+    return 2;
+  }
+  for (const std::string& dir : {args.trace_dir, args.timeseries_dir}) {
+    if (dir.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "latdiv-sweep: cannot create '%s': %s\n",
+                   dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  attach_obs_outputs(manifest, args);
 
   const ProgressFn progress =
       args.progress
@@ -85,17 +153,21 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
   std::fprintf(stderr, "ran %zu point(s) in %.2f s (jobs=%u)\n",
                artifact.points.size(), wall_s, args.opts.jobs);
 
+  // Artifact-write failures are recorded, not returned immediately, so
+  // the --profile block below still prints (it is diagnostic output and
+  // most useful exactly when something went wrong).
+  bool write_failed = false;
   if (!args.out_json.empty() &&
       !write_file(args.out_json, to_json(artifact, args.timings))) {
     std::fprintf(stderr, "latdiv-sweep: cannot write '%s'\n",
                  args.out_json.c_str());
-    return 2;
+    write_failed = true;
   }
   if (!args.out_csv.empty() &&
       !write_file(args.out_csv, to_csv(artifact))) {
     std::fprintf(stderr, "latdiv-sweep: cannot write '%s'\n",
                  args.out_csv.c_str());
-    return 2;
+    write_failed = true;
   }
 
   if (args.profile) {
@@ -109,12 +181,14 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
                  "profile: build     %8.3f s\n"
                  "profile: simulate  %8.3f s  (%zu points, %.1f simulated "
                  "Mcycles, %.2f Mcycles/s wall, %.2f Mcycles/s cpu)\n"
-                 "profile: report    %8.3f s\n",
+                 "profile: report    %8.3f s\n"
+                 "profile: peak rss  %8.1f MiB\n",
                  build_s, wall_s, artifact.points.size(), mcycles,
                  wall_s > 0.0 ? mcycles / wall_s : 0.0,
                  point_wall_ms > 0.0 ? mcycles / (point_wall_ms / 1e3) : 0.0,
-                 report_s);
+                 report_s, peak_rss_mib());
   }
+  if (write_failed) return 2;
 
   int rc = failed_points(artifact) > 0 ? 1 : 0;
   if (!args.check.empty()) {

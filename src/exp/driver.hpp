@@ -6,6 +6,7 @@
 // behaves identically.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "exp/golden.hpp"
@@ -22,9 +23,18 @@ struct SweepRunArgs {
   bool timings = false;  ///< include wall_ms in the JSON (non-deterministic)
   bool progress = true;  ///< per-point progress lines on stderr
   /// Print a per-phase wall-clock and simulation-throughput breakdown
-  /// (build / simulate / report phases, simulated Mcycles/s) on stderr.
+  /// (build / simulate / report phases, simulated Mcycles/s, peak RSS)
+  /// on stderr.  Emitted even when points fail or artifact writes fail.
   /// Measurement only — artifact bytes are unaffected.
   bool profile = false;
+  /// When non-empty, every simulated point writes a Chrome trace_event
+  /// JSON (`<dir>/<point-id>.trace.json`, '/' in ids becomes '_').
+  std::string trace_dir;
+  /// When non-empty, every simulated point writes a time-series CSV
+  /// (`<dir>/<point-id>.timeseries.csv`).
+  std::string timeseries_dir;
+  /// Sampling epoch (DRAM cycles) for --timeseries rows.
+  std::uint64_t sample_interval = 500;
 };
 
 /// Run the named manifest and print its figure table.  Returns the

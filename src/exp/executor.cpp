@@ -82,9 +82,26 @@ PointResult execute_point(const ExpPoint& p) {
       cfg.warmup_cycles = p.warmup;
       cfg.seed = p.seed;
       if (p.hook) p.hook(cfg);
-      const RunResult r = Simulator(cfg).run();
+      Simulator sim(cfg);
+      const RunResult r = sim.run();
       res.scheduler = r.scheduler;
       res.metrics = metrics_from(r);
+      // Observability percentiles ride along only when the point opted
+      // into the obs layer — base artifacts (and committed goldens) keep
+      // their exact metric set.
+      if (const obs::ObsHub* hub = sim.obs()) {
+        const auto add_percentiles = [&res, hub](const std::string& key,
+                                                 const char* hist) {
+          const obs::Log2Histogram* h = hub->metrics().find_histogram(hist);
+          if (h == nullptr || h->total() == 0) return;
+          res.metrics[key + "_p50"] = static_cast<double>(h->quantile(0.50));
+          res.metrics[key + "_p90"] = static_cast<double>(h->quantile(0.90));
+          res.metrics[key + "_p99"] = static_cast<double>(h->quantile(0.99));
+        };
+        add_percentiles("obs.divergence_gap", "warp.divergence_gap");
+        add_percentiles("obs.last_latency", "warp.last_latency");
+        add_percentiles("obs.read_service", "req.read_service");
+      }
     }
     res.ok = true;
   } catch (const std::exception& e) {

@@ -83,6 +83,9 @@ class ExpGrid {
   [[nodiscard]] const std::vector<ExpPoint>& points() const {
     return points_;
   }
+  /// Mutable access for post-build adjustments (the sweep driver wraps
+  /// point hooks to attach per-point observability outputs).
+  [[nodiscard]] std::vector<ExpPoint>& points_mut() { return points_; }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] bool empty() const { return points_.empty(); }
 

@@ -8,7 +8,7 @@ Partition::Partition(ChannelId id, const PartitionConfig& cfg,
                      const McConfig& mc_cfg, const DramTiming& timing,
                      std::unique_ptr<TransactionScheduler> policy,
                      const AddressMap& amap, Crossbar& xbar,
-                     InstrTracker& tracker)
+                     InstrTracker& tracker, obs::ObsHub* obs)
     : id_(id),
       cfg_(cfg),
       l2_(cfg.l2),
@@ -21,7 +21,8 @@ Partition::Partition(ChannelId id, const PartitionConfig& cfg,
       [this](const MemRequest& req, Cycle) {
         tracker_.on_dram_complete(req.tag.instr, req.completed);
         fills_.push_back(req);
-      });
+      },
+      obs);
 }
 
 void Partition::process_fills(Cycle now) {

@@ -50,10 +50,13 @@ struct PartitionStats {
 
 class Partition {
  public:
+  /// `obs` (optional) is handed to the memory controller for
+  /// request-lifecycle tracing; the partition itself never consults it.
   Partition(ChannelId id, const PartitionConfig& cfg, const McConfig& mc_cfg,
             const DramTiming& timing,
             std::unique_ptr<TransactionScheduler> policy,
-            const AddressMap& amap, Crossbar& xbar, InstrTracker& tracker);
+            const AddressMap& amap, Crossbar& xbar, InstrTracker& tracker,
+            obs::ObsHub* obs = nullptr);
 
   /// Core-domain tick: pull requests from the crossbar through the L2
   /// pipeline, process fills, send responses.

@@ -180,7 +180,7 @@ bool Sm::issue_memory(WarpId wid, Cycle now) {
   if (w.pending_lines == 0) {
     w.ready_at = now + cfg_.l1_hit_latency;
   } else {
-    tracker_.on_issue(uid, now);
+    tracker_.on_issue(tag, now);
   }
   if (!lsu_.queue.empty()) {
     lsu_.active = true;

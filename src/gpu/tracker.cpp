@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "obs/hub.hpp"
 
 namespace latdiv {
 
@@ -11,6 +12,14 @@ void InstrTracker::on_issue(WarpInstrUid uid, Cycle now) {
   auto [it, inserted] = records_.try_emplace(uid);
   LATDIV_ASSERT(inserted, "duplicate load issue for one uid");
   it->second.issued = now;
+}
+
+void InstrTracker::on_issue(const WarpTag& tag, Cycle now) {
+  auto [it, inserted] = records_.try_emplace(tag.instr);
+  LATDIV_ASSERT(inserted, "duplicate load issue for one uid");
+  it->second.issued = now;
+  it->second.sm = tag.sm;
+  it->second.warp = tag.warp;
 }
 
 void InstrTracker::on_dram_request(WarpInstrUid uid, const DramLoc& loc) {
@@ -76,6 +85,12 @@ void InstrTracker::finalize(WarpInstrUid uid, Cycle now) {
       summary_.last_to_first_ratio.add(last_lat / first_lat);
     }
     summary_.divergence_gap.add(static_cast<double>(r.last_done - r.first_done));
+
+    if (obs_ != nullptr) {
+      obs_->warp_load(r.sm, r.warp, r.issued, r.first_done, r.last_done,
+                      /*woke=*/now,
+                      static_cast<std::uint32_t>(r.locs.size()));
+    }
   }
   (void)now;
   records_.erase(it);

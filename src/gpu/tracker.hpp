@@ -22,6 +22,10 @@
 #include "common/types.hpp"
 #include "mem/address_map.hpp"
 
+namespace latdiv::obs {
+class ObsHub;
+}
+
 namespace latdiv {
 
 struct TrackerSummary {
@@ -39,8 +43,14 @@ struct TrackerSummary {
 
 class InstrTracker {
  public:
+  /// Attach the introspection hub (nullable).  Finalised loads feed the
+  /// hub's divergence histograms and, when tracing, the warp timeline.
+  void set_obs(obs::ObsHub* hub) { obs_ = hub; }
+
   /// SM issued a load that produced `lines` coalesced requests.
   void on_issue(WarpInstrUid uid, Cycle now);
+  /// Same, with the owning <SM, warp> retained for the trace track.
+  void on_issue(const WarpTag& tag, Cycle now);
 
   /// A request of `uid` entered a memory controller's read queue.
   void on_dram_request(WarpInstrUid uid, const DramLoc& loc);
@@ -59,11 +69,14 @@ class InstrTracker {
     Cycle issued = kNoCycle;
     Cycle first_done = kNoCycle;
     Cycle last_done = kNoCycle;
+    SmId sm = 0;
+    WarpId warp = 0;
     std::vector<DramLoc> locs;  ///< one per DRAM request (<= 32)
   };
 
   std::unordered_map<WarpInstrUid, Record> records_;
   TrackerSummary summary_;
+  obs::ObsHub* obs_ = nullptr;
 };
 
 }  // namespace latdiv

@@ -77,6 +77,14 @@ class Crossbar {
   [[nodiscard]] const IcntStats& stats() const { return stats_; }
   [[nodiscard]] const IcntConfig& config() const { return cfg_; }
 
+  // Occupancy snapshots (time-series sampling; no timing effects).
+  /// Requests waiting in SM injection queues.
+  [[nodiscard]] std::size_t requests_queued() const { return sm_queued_; }
+  /// Responses waiting in partition output queues.
+  [[nodiscard]] std::size_t responses_queued() const {
+    return part_out_queued_;
+  }
+
  private:
   template <typename T>
   struct Timed {

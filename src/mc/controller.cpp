@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/hub.hpp"
 
 namespace latdiv {
 
@@ -41,12 +42,13 @@ void TransactionScheduler::on_drain_start(MemoryController&, Cycle) {}
 MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
                                    const DramTiming& timing,
                                    std::unique_ptr<TransactionScheduler> policy,
-                                   ResponseFn on_read_done)
+                                   ResponseFn on_read_done, obs::ObsHub* obs)
     : id_(id),
       cfg_(cfg),
       channel_(timing),
       policy_(std::move(policy)),
       on_read_done_(std::move(on_read_done)),
+      obs_(obs),
       read_q_(cfg.read_queue_size),
       write_q_(cfg.write_queue_size),
       bank_q_(timing.banks),
@@ -57,6 +59,9 @@ MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
   LATDIV_ASSERT(cfg.wq_low_watermark < cfg.wq_high_watermark &&
                     cfg.wq_high_watermark <= cfg.write_queue_size,
                 "bad write watermarks");
+  stats_.bank_row_hits.assign(timing.banks, 0);
+  stats_.bank_row_misses.assign(timing.banks, 0);
+  stats_.bank_row_conflicts.assign(timing.banks, 0);
 }
 
 void MemoryController::push(MemRequest req, Cycle now) {
@@ -70,7 +75,9 @@ void MemoryController::push(MemRequest req, Cycle now) {
     LATDIV_ASSERT(!write_q_.full(), "write queue overflow");
     write_q_.push(req);
     ++stats_.writes_accepted;
+    if (write_mode_) ++writes_arrived_in_drain_;
   }
+  if (obs_ != nullptr) obs_->req_enqueued(req, now);
   policy_->on_push(*this, req, now);
 }
 
@@ -148,22 +155,30 @@ void MemoryController::update_drain_mode(Cycle now) {
       opportunistic_mode_ = false;
       ++stats_.drains_started;
       ++mutation_epoch_;
+      wq_at_drain_start_ = write_q_.size();
+      writes_arrived_in_drain_ = 0;
+      if (obs_ != nullptr) obs_->drain_begin(id_, now);
       policy_->on_drain_start(*this, now);
     } else if (cfg_.opportunistic_drain && read_q_.empty() &&
                !write_q_.empty() && all_bank_queues_empty()) {
       write_mode_ = true;
       opportunistic_mode_ = true;
       ++mutation_epoch_;
+      wq_at_drain_start_ = write_q_.size();
+      writes_arrived_in_drain_ = 0;
+      if (obs_ != nullptr) obs_->drain_begin(id_, now);
     }
   } else {
     if (write_q_.size() <= cfg_.wq_low_watermark) {
       write_mode_ = false;
       ++mutation_epoch_;
+      if (obs_ != nullptr) obs_->drain_end(id_, now, drained_writes());
     } else if (opportunistic_mode_ && !read_q_.empty() &&
                write_q_.size() < cfg_.wq_high_watermark) {
       // A read arrived during an opportunistic drain: yield to it.
       write_mode_ = false;
       ++mutation_epoch_;
+      if (obs_ != nullptr) obs_->drain_end(id_, now, drained_writes());
     }
   }
 }
@@ -180,6 +195,7 @@ void MemoryController::complete_reads(Cycle now) {
     stats_.read_service_cycles.add(
         static_cast<double>(done.done - done.req.arrived_at_mc));
     ++stats_.reads_served;
+    if (obs_ != nullptr) obs_->req_data(done.req, done.done);
     if (on_read_done_) on_read_done_(done.req, now);
   }
 }
@@ -219,7 +235,7 @@ void MemoryController::issue_one_command(Cycle now) {
           (rr_bank_in_group_[g] + b_off) % t.banks_per_group;
       const auto bank = static_cast<BankId>(g * t.banks_per_group + in_group);
       if (bank_q_[bank].empty()) continue;
-      const MemRequest& head = bank_q_[bank].front();
+      MemRequest& head = bank_q_[bank].front();
 
       DramCommand cmd;
       const RowId open = channel_.open_row(bank);
@@ -236,6 +252,30 @@ void MemoryController::issue_one_command(Cycle now) {
       const Cycle done = channel_.issue(cmd, now);
       ++mutation_epoch_;
       ++bank_epoch_[bank];
+      // The first command issued on behalf of a still-unclassified head
+      // fixes its row-buffer outcome: straight CAS = the row was already
+      // open (hit), ACT from precharged = miss, PRE of another row =
+      // conflict.  Later commands for the same head (the ACT after a
+      // conflict's PRE, the CAS after either) leave it untouched.
+      if (head.row_outcome == RowOutcome::kNone) {
+        switch (cmd.cmd) {
+          case DramCmd::kRead:
+          case DramCmd::kWrite:
+            head.row_outcome = RowOutcome::kHit;
+            ++stats_.bank_row_hits[bank];
+            break;
+          case DramCmd::kActivate:
+            head.row_outcome = RowOutcome::kMiss;
+            ++stats_.bank_row_misses[bank];
+            break;
+          case DramCmd::kPrecharge:
+            head.row_outcome = RowOutcome::kConflict;
+            ++stats_.bank_row_conflicts[bank];
+            break;
+          case DramCmd::kRefresh:
+            break;  // never reaches here (refresh handled above)
+        }
+      }
       if (cmd.cmd == DramCmd::kRead || cmd.cmd == DramCmd::kWrite) {
         MemRequest req = bank_q_[bank].front();
         bank_q_[bank].pop_front();
@@ -243,12 +283,15 @@ void MemoryController::issue_one_command(Cycle now) {
         LATDIV_DCHECK(req.loc.bank == bank && req.loc.row == cmd.row,
                       "CAS issued for a request other than the bank head");
         --cmdq_total_;
+        req.cas_issued = now;
+        if (obs_ != nullptr) obs_->req_cas(req, now);
         if (cmd.cmd == DramCmd::kRead) {
           stats_.read_queueing_cycles.add(
               static_cast<double>(now - req.arrived_at_mc));
           inflight_reads_.push(Inflight{done, req});
         } else {
           ++stats_.writes_served;
+          if (obs_ != nullptr) obs_->req_write_retired(req, done);
         }
         // Advance the round-robin pointers past the bank that got data
         // service, so other bank groups / banks get the next slot.

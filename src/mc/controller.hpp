@@ -34,6 +34,10 @@
 #include "mc/policy.hpp"
 #include "mem/request.hpp"
 
+namespace latdiv::obs {
+class ObsHub;
+}
+
 namespace latdiv {
 
 struct McConfig {
@@ -59,6 +63,13 @@ struct McStats {
   // (1-2 requests remaining).
   std::uint64_t drain_stalled_groups = 0;
   std::uint64_t drain_stalled_small_groups = 0;
+  // Per-bank row-buffer outcomes, classified when a request reaches the
+  // head of its bank command queue (see RowOutcome).  Sum over banks
+  // covers every CAS this controller issued; requests still queued or
+  // in flight at end of run are simply unclassified.
+  std::vector<std::uint64_t> bank_row_hits;
+  std::vector<std::uint64_t> bank_row_misses;
+  std::vector<std::uint64_t> bank_row_conflicts;
 };
 
 class MemoryController {
@@ -66,9 +77,11 @@ class MemoryController {
   /// `on_read_done(req, now)` fires the cycle read data is fully returned.
   using ResponseFn = std::function<void(const MemRequest&, Cycle)>;
 
+  /// `obs` (optional) receives request-lifecycle events; it is strictly
+  /// an observer — scheduling behaviour is identical with or without it.
   MemoryController(ChannelId id, const McConfig& cfg, const DramTiming& timing,
                    std::unique_ptr<TransactionScheduler> policy,
-                   ResponseFn on_read_done);
+                   ResponseFn on_read_done, obs::ObsHub* obs = nullptr);
 
   // --- ingress (called by the partition) ---
   [[nodiscard]] bool can_accept_read() const { return !read_q_.full(); }
@@ -196,12 +209,21 @@ class MemoryController {
   void issue_one_command(Cycle now);
   void complete_reads(Cycle now);
   [[nodiscard]] bool all_bank_queues_empty() const { return cmdq_total_ == 0; }
+  /// Writes the current drain episode pulled out of the write queue so
+  /// far: start depth plus arrivals absorbed, minus what is still queued.
+  [[nodiscard]] std::uint64_t drained_writes() const {
+    return wq_at_drain_start_ + writes_arrived_in_drain_ - write_q_.size();
+  }
 
   ChannelId id_;
   McConfig cfg_;
   Channel channel_;
   std::unique_ptr<TransactionScheduler> policy_;
   ResponseFn on_read_done_;
+  obs::ObsHub* obs_ = nullptr;  ///< nullable; never consulted for decisions
+  // Drain-episode accounting for obs_->drain_end's flushed-write count.
+  std::size_t wq_at_drain_start_ = 0;
+  std::uint64_t writes_arrived_in_drain_ = 0;
 
   BoundedQueue<MemRequest> read_q_;
   BoundedQueue<MemRequest> write_q_;

@@ -16,6 +16,12 @@ namespace latdiv {
 
 enum class ReqKind : std::uint8_t { kRead, kWrite };
 
+/// How the request's first DRAM command found its bank's row buffer
+/// (classified by the command scheduler when the request reaches the head
+/// of its bank queue): hit = row already open, miss = bank precharged,
+/// conflict = another row open (PRE + ACT required).
+enum class RowOutcome : std::uint8_t { kNone, kHit, kMiss, kConflict };
+
 struct MemRequest {
   Addr addr = 0;          ///< cache-line-aligned byte address
   ReqKind kind = ReqKind::kRead;
@@ -33,9 +39,13 @@ struct MemRequest {
   /// the warp-group is fully formed).
   bool last_of_group_at_mc = false;
 
+  /// Row-buffer outcome at the head of the bank command queue.
+  RowOutcome row_outcome = RowOutcome::kNone;
+
   // --- timestamps (global command-clock cycles) ---
   Cycle issued_by_sm = kNoCycle;   ///< left the coalescer
   Cycle arrived_at_mc = kNoCycle;  ///< entered the read/write queue
+  Cycle cas_issued = kNoCycle;     ///< column command left for the DRAM
   Cycle completed = kNoCycle;      ///< data burst finished (reads) / retired
 };
 

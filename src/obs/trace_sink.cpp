@@ -1,0 +1,97 @@
+#include "obs/trace_sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace latdiv::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Event names and categories are static identifiers and track names are
+// built from [A-Za-z0-9._-] parts, so escaping is the identity today;
+// this keeps the sink honest if a future name sneaks a quote in.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink() {
+  out_ = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+void ChromeTraceSink::begin_event(char ph, const char* name, const char* cat,
+                                  std::uint32_t pid, std::uint32_t tid,
+                                  Cycle ts) {
+  out_ += events_ == 0 ? "\n" : ",\n";
+  ++events_;
+  out_ += "{\"ph\":\"";
+  out_.push_back(ph);
+  out_ += "\",\"name\":\"";
+  append_escaped(out_, name);
+  out_ += "\",\"cat\":\"";
+  append_escaped(out_, cat);
+  out_ += "\",\"pid\":";
+  append_u64(out_, pid);
+  out_ += ",\"tid\":";
+  append_u64(out_, tid);
+  out_ += ",\"ts\":";
+  append_u64(out_, ts);
+}
+
+void ChromeTraceSink::emit(const TraceEvent& ev) {
+  begin_event(static_cast<char>(ev.ph), ev.name, ev.cat, ev.pid, ev.tid,
+              ev.ts);
+  if (ev.ph == TraceEvent::Phase::kComplete) {
+    out_ += ",\"dur\":";
+    append_u64(out_, ev.dur);
+  }
+  if (!ev.args.empty()) {
+    out_ += ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& a : ev.args) {
+      if (!first) out_.push_back(',');
+      first = false;
+      out_.push_back('"');
+      append_escaped(out_, a.key);
+      out_ += "\":";
+      append_u64(out_, a.value);
+    }
+    out_.push_back('}');
+  }
+  out_.push_back('}');
+}
+
+void ChromeTraceSink::process_name(std::uint32_t pid, std::string_view name) {
+  begin_event('M', "process_name", "__metadata", pid, 0, 0);
+  out_ += ",\"args\":{\"name\":\"";
+  append_escaped(out_, name);
+  out_ += "\"}}";
+}
+
+void ChromeTraceSink::thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  std::string_view name) {
+  begin_event('M', "thread_name", "__metadata", pid, tid, 0);
+  out_ += ",\"args\":{\"name\":\"";
+  append_escaped(out_, name);
+  out_ += "\"}}";
+}
+
+const std::string& ChromeTraceSink::finish() {
+  if (!finished_) {
+    out_ += "\n]}\n";
+    finished_ = true;
+  }
+  return out_;
+}
+
+}  // namespace latdiv::obs

@@ -15,6 +15,7 @@
 #include "mc/policy_gmc.hpp"
 #include "mc/policy_sbwas.hpp"
 #include "mem/address_map.hpp"
+#include "obs/hub.hpp"
 #include "workload/profile.hpp"
 
 namespace latdiv {
@@ -98,6 +99,11 @@ struct SimConfig {
 
   // Correctness checkers.
   CheckConfig check;
+
+  /// Introspection layer (src/obs): request-lifecycle tracing, sampled
+  /// time-series, divergence histograms.  Off by default — the hub is not
+  /// even constructed, leaving null-pointer checks as the only footprint.
+  obs::ObsConfig obs;
 
   /// Scale all structure counts down for fast unit tests.
   void shrink_for_tests();

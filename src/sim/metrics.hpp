@@ -4,11 +4,25 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dram/power.hpp"
 #include "gpu/tracker.hpp"
 
 namespace latdiv {
+
+/// Per-bank DRAM behaviour (one entry per bank of one channel).  ACT/PRE
+/// come from the channel state machine; the row hit/miss/conflict triple
+/// is classified by the memory controller when a request reaches the head
+/// of its bank command queue.  This is the ground truth the tracing
+/// layer's per-bank event counts are validated against.
+struct BankCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t row_conflicts = 0;
+};
 
 struct RunResult {
   std::string workload;
@@ -49,6 +63,8 @@ struct RunResult {
   std::uint64_t dram_reads = 0;
   std::uint64_t dram_writes = 0;
   std::uint64_t dram_activates = 0;
+  /// [channel][bank] breakdown of the aggregates above.
+  std::vector<std::vector<BankCounters>> bank_breakdown;
   PowerBreakdown power;  ///< per-channel average power
 
   // Cache behaviour.

@@ -110,10 +110,31 @@ Simulator::Simulator(const SimConfig& cfg)
     source_ = recorder_.get();
   }
 
+  // Introspection hub — constructed before the partitions so controllers
+  // can capture the pointer.  Strictly an observer: simulated behaviour is
+  // identical with or without it (tests/test_obs_trace.cpp asserts this).
+  if (cfg_.obs.enabled()) {
+    LATDIV_ASSERT(cfg_.obs.sample_interval > 0,
+                  "time-series sampling needs a positive interval");
+    obs_hub_ = std::make_unique<obs::ObsHub>(cfg_.obs);
+    tracker_.set_obs(obs_hub_.get());
+  }
+
   for (std::uint32_t p = 0; p < cfg_.icnt.partitions; ++p) {
     partitions_.push_back(std::make_unique<Partition>(
         static_cast<ChannelId>(p), cfg_.partition, cfg_.mc, timing_,
-        make_policy(static_cast<ChannelId>(p)), amap_, xbar_, tracker_));
+        make_policy(static_cast<ChannelId>(p)), amap_, xbar_, tracker_,
+        obs_hub_.get()));
+  }
+  if (obs_hub_ && obs_hub_->tracing()) {
+    for (auto& part : partitions_) {
+      const ChannelId ch = part->id();
+      obs::ObsHub* hub = obs_hub_.get();
+      part->mc().channel_mut().add_command_observer(
+          [hub, ch](const DramCommand& cmd, Cycle at) {
+            hub->dram_command(ch, cmd, at);
+          });
+    }
   }
   for (std::uint32_t s = 0; s < cfg_.num_sms; ++s) {
     sms_.push_back(std::make_unique<Sm>(
@@ -135,7 +156,7 @@ Simulator::Simulator(const SimConfig& cfg)
       auto checker = std::make_unique<ProtocolChecker>(
           timing_, cfg_.check.abort_on_violation);
       ProtocolChecker* raw = checker.get();
-      part->mc().channel_mut().set_command_observer(
+      part->mc().channel_mut().add_command_observer(
           [raw](const DramCommand& cmd, Cycle at) {
             raw->on_command(cmd, at);
           });
@@ -147,6 +168,23 @@ Simulator::Simulator(const SimConfig& cfg)
                   "invariant audits need a positive interval");
     invariant_checker_ =
         std::make_unique<InvariantChecker>(cfg_.check.abort_on_violation);
+  }
+
+  if (obs_hub_ && obs_hub_->sampling()) {
+    std::vector<std::string> cols{"d_instr", "inflight_loads", "icnt_req_q",
+                                  "icnt_resp_q"};
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      const std::string pre = "ch" + std::to_string(p) + ".";
+      for (const char* c :
+           {"rdq", "wrq", "cmdq", "inflight", "drain", "d_reads", "d_writes",
+            "d_acts", "d_row_hits", "d_row_misses", "d_row_conflicts",
+            "d_merb"}) {
+        cols.push_back(pre + c);
+      }
+    }
+    series_prev_.assign(partitions_.size(), ChannelSeriesPrev{});
+    obs_hub_->set_series_columns(std::move(cols));
+    sample_timeseries();  // baseline row at cycle 0
   }
 }
 
@@ -173,11 +211,55 @@ void Simulator::step() {
   if (invariant_checker_ && now_ % cfg_.check.audit_interval == 0) {
     audit_invariants();
   }
+  if (obs_hub_ && obs_hub_->sampling() &&
+      now_ % cfg_.obs.sample_interval == 0) {
+    sample_timeseries();
+  }
 
   if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
     warmup_done_at_ = now_;
     warmup_instructions_ = total_instructions();
   }
+}
+
+void Simulator::sample_timeseries() {
+  series_row_.clear();
+  const std::uint64_t instr = total_instructions();
+  series_row_.push_back(instr - series_prev_instr_);
+  series_prev_instr_ = instr;
+  series_row_.push_back(tracker_.inflight());
+  series_row_.push_back(xbar_.requests_queued());
+  series_row_.push_back(xbar_.responses_queued());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const MemoryController& mc = partitions_[p]->mc();
+    const ChannelStats& cs = mc.channel().stats();
+    const McStats& ms = mc.stats();
+    ChannelSeriesPrev& prev = series_prev_[p];
+    std::uint64_t hits = 0, misses = 0, conflicts = 0;
+    for (std::size_t b = 0; b < ms.bank_row_hits.size(); ++b) {
+      hits += ms.bank_row_hits[b];
+      misses += ms.bank_row_misses[b];
+      conflicts += ms.bank_row_conflicts[b];
+    }
+    const WgStats* wg = mc.policy().wg_stats();
+    const std::uint64_t merb = wg != nullptr ? wg->merb_deferrals : 0;
+
+    series_row_.push_back(mc.read_queue().size());
+    series_row_.push_back(mc.write_queue().size());
+    series_row_.push_back(mc.commands_pending());
+    series_row_.push_back(mc.inflight_reads());
+    series_row_.push_back(mc.in_write_drain() ? 1 : 0);
+    series_row_.push_back(cs.reads - prev.reads);
+    series_row_.push_back(cs.writes - prev.writes);
+    series_row_.push_back(cs.activates - prev.activates);
+    series_row_.push_back(hits - prev.row_hits);
+    series_row_.push_back(misses - prev.row_misses);
+    series_row_.push_back(conflicts - prev.row_conflicts);
+    series_row_.push_back(merb - prev.merb_deferrals);
+    prev = {cs.reads, cs.writes,  cs.activates, hits,
+            misses,   conflicts, merb};
+  }
+  obs_hub_->sample(now_, series_row_);
 }
 
 std::uint64_t Simulator::total_instructions() const {
@@ -193,6 +275,7 @@ RunResult Simulator::run() {
   }
   for (auto& checker : protocol_checkers_) checker->finalize(now_);
   if (invariant_checker_) audit_invariants();
+  if (obs_hub_) obs_hub_->finalize(now_);
   return collect();
 }
 
@@ -236,6 +319,13 @@ void Simulator::fast_forward() {
     limit = std::min(
         limit, (now_ / cfg_.check.audit_interval + 1) * cfg_.check.audit_interval);
   }
+  // Time-series rows must be taken at their exact cycles too; the skipped
+  // span is dead, so sampling at the boundary sees the same state a
+  // stepped run would — artifacts stay byte-identical under fast-forward.
+  if (obs_hub_ && obs_hub_->sampling()) {
+    limit = std::min(limit, (now_ / cfg_.obs.sample_interval + 1) *
+                                cfg_.obs.sample_interval);
+  }
   if (limit <= now_) return;
 
   // Cycles [now_, limit) are dead: no instruction issues, no packet
@@ -253,6 +343,10 @@ void Simulator::fast_forward() {
 
   if (invariant_checker_ && now_ % cfg_.check.audit_interval == 0) {
     audit_invariants();
+  }
+  if (obs_hub_ && obs_hub_->sampling() &&
+      now_ % cfg_.obs.sample_interval == 0) {
+    sample_timeseries();
   }
   if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
     warmup_done_at_ = now_;
@@ -361,6 +455,21 @@ RunResult Simulator::collect() const {
   r.mc_read_queueing_cycles = mc_queueing.mean();
   r.mc_read_service_cycles = mc_service.mean();
   r.coord_messages = coord_->messages_sent();
+
+  // Per-bank breakdown (satellite of the introspection layer; always
+  // collected — the counters are maintained unconditionally and cheap).
+  r.bank_breakdown.reserve(partitions_.size());
+  for (const auto& part : partitions_) {
+    const ChannelStats& cs = part->mc().channel().stats();
+    const McStats& ms = part->mc().stats();
+    std::vector<BankCounters> banks(cs.per_bank_activates.size());
+    for (std::size_t b = 0; b < banks.size(); ++b) {
+      banks[b] = BankCounters{cs.per_bank_activates[b],
+                              cs.per_bank_precharges[b], ms.bank_row_hits[b],
+                              ms.bank_row_misses[b], ms.bank_row_conflicts[b]};
+    }
+    r.bank_breakdown.push_back(std::move(banks));
+  }
 
   // Average per-channel power (scale the merged counters down).
   ChannelStats per_chan{};

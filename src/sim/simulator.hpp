@@ -51,6 +51,11 @@ class Simulator {
     return invariant_checker_.get();
   }
 
+  /// Introspection hub (null unless cfg.obs enables something).  Tests
+  /// and tools read the trace/time-series/metrics artifacts through it.
+  [[nodiscard]] obs::ObsHub* obs() { return obs_hub_.get(); }
+  [[nodiscard]] const obs::ObsHub* obs() const { return obs_hub_.get(); }
+
  private:
   void audit_invariants();
   /// Idle fast-forward (run() only): when every component reports its
@@ -61,6 +66,8 @@ class Simulator {
   [[nodiscard]] std::unique_ptr<TransactionScheduler> make_policy(ChannelId id);
   [[nodiscard]] std::uint64_t total_instructions() const;
   RunResult collect() const;
+  /// Record one time-series row at now_ (called on sample boundaries).
+  void sample_timeseries();
 
   SimConfig cfg_;
   DramTiming timing_;
@@ -78,10 +85,26 @@ class Simulator {
   std::shared_ptr<ZldCoordinator> zld_;
   std::vector<std::unique_ptr<ProtocolChecker>> protocol_checkers_;
   std::unique_ptr<InvariantChecker> invariant_checker_;
+  std::unique_ptr<obs::ObsHub> obs_hub_;
 
   Cycle now_ = 0;
   std::uint64_t warmup_instructions_ = 0;
   Cycle warmup_done_at_ = 0;
+
+  // Time-series sampling state: previous cumulative counter values, so
+  // each row reports per-epoch deltas alongside instantaneous occupancy.
+  struct ChannelSeriesPrev {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t row_conflicts = 0;
+    std::uint64_t merb_deferrals = 0;
+  };
+  std::vector<ChannelSeriesPrev> series_prev_;
+  std::uint64_t series_prev_instr_ = 0;
+  std::vector<std::uint64_t> series_row_;  ///< reused sample buffer
 };
 
 }  // namespace latdiv

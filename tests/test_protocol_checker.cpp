@@ -212,7 +212,7 @@ TEST(ProtocolChecker, ShadowsTheRealChannelSilently) {
   const DramTiming t = gddr5_timing();
   Channel chan(t);
   ProtocolChecker pc(t);
-  chan.set_command_observer(
+  chan.add_command_observer(
       [&pc](const DramCommand& cmd, Cycle at) { pc.on_command(cmd, at); });
 
   const DramCommand script[] = {

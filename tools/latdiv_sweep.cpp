@@ -48,8 +48,15 @@ void usage(std::FILE* out) {
                "  --csv FILE        write the CSV artifact\n"
                "  --timings         include per-point wall_ms in the JSON "
                "(non-deterministic)\n"
-               "  --profile         per-phase wall-clock + simulated "
-               "Mcycles/s on stderr\n"
+               "  --profile         per-phase wall-clock, simulated "
+               "Mcycles/s and peak RSS on stderr\n"
+               "  --trace DIR       write per-point Chrome trace_event JSON "
+               "into DIR (Perfetto-loadable)\n"
+               "  --timeseries DIR  write per-point sampled time-series CSV "
+               "into DIR\n"
+               "  --sample-interval N\n"
+               "                    time-series sampling epoch in DRAM "
+               "cycles (default 500)\n"
                "  --quiet           no per-point progress on stderr\n"
                "  --check FILE      golden-check the artifact against FILE\n"
                "  --default-tol R   relative tolerance for --check "
@@ -187,6 +194,12 @@ int cmd_run(const std::string& manifest, int argc, char** argv) {
       args.timings = true;
     } else if (std::strcmp(flag, "--profile") == 0) {
       args.profile = true;
+    } else if (std::strcmp(flag, "--trace") == 0) {
+      args.trace_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(flag, "--timeseries") == 0) {
+      args.timeseries_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(flag, "--sample-interval") == 0) {
+      args.sample_interval = parse_u64(flag, next_arg(argc, argv, i));
     } else if (std::strcmp(flag, "--quiet") == 0) {
       args.progress = false;
     } else if (std::strcmp(flag, "--check") == 0) {
