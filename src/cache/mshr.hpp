@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/log.hpp"
@@ -79,7 +79,11 @@ class MshrFile {
 
  private:
   MshrConfig cfg_;
-  std::unordered_map<Addr, std::vector<MemRequest>> entries_;
+  // Ordered map by determinism policy (latdiv-lint unordered-iter): no
+  // current call site iterates entries_, but an ordered structure keeps
+  // any future walk (drain-on-flush, debug dumps) address-ordered for
+  // free.  At <= 32 entries the lookup-cost difference is noise.
+  std::map<Addr, std::vector<MemRequest>> entries_;
   MshrStats stats_;
 };
 

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "dram/command.hpp"
 #include "dram/params.hpp"
@@ -133,7 +134,10 @@ class Channel {
   Cycle data_bus_free_at_ = 0;
   Cycle next_refresh_at_ = 0;
 
-  std::vector<CommandObserver> observers_;
+  // Observers are registered at construction by this channel's controller
+  // and invoked synchronously on its tick; under a sharded core the whole
+  // chain stays on the channel's own thread.
+  std::vector<CommandObserver> observers_ LATDIV_SHARD_LOCAL;
   ChannelStats stats_;
 };
 

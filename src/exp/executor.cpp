@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "sim/simulator.hpp"
 
 namespace latdiv::exp {
@@ -127,8 +127,8 @@ std::vector<PointResult> run_grid(const ExpGrid& grid, unsigned jobs,
   if (points.empty()) return results;
 
   std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::size_t done = 0;
+  latdiv::Mutex mu;
+  std::size_t done = 0;  // guarded by mu
 
   const auto worker = [&] {
     for (;;) {
@@ -136,7 +136,7 @@ std::vector<PointResult> run_grid(const ExpGrid& grid, unsigned jobs,
       if (i >= points.size()) return;
       results[i] = execute_point(points[i]);
       {
-        const std::lock_guard<std::mutex> lock(mu);
+        const latdiv::MutexLock lock(mu);
         ++done;  // monotonic: one increment per completed point
         if (progress) progress(done, points.size(), results[i]);
       }

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/address_map.hpp"
@@ -76,7 +77,9 @@ class InstrTracker {
 
   std::unordered_map<WarpInstrUid, Record> records_;
   TrackerSummary summary_;
-  obs::ObsHub* obs_ = nullptr;
+  // The tracker lives on the SM side of the crossbar; a sharded core
+  // keeps it (and its hub pointer) on the GPU-core thread.
+  obs::ObsHub* obs_ LATDIV_SHARD_LOCAL = nullptr;
 };
 
 }  // namespace latdiv

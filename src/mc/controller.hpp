@@ -25,6 +25,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bounded_queue.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
@@ -219,8 +220,14 @@ class MemoryController {
   McConfig cfg_;
   Channel channel_;
   std::unique_ptr<TransactionScheduler> policy_;
-  ResponseFn on_read_done_;
-  obs::ObsHub* obs_ = nullptr;  ///< nullable; never consulted for decisions
+  // The response callback re-enters the coordination network / tracker;
+  // under a sharded core responses are queued to the owning shard rather
+  // than invoked cross-thread, so the callback itself stays shard-local.
+  ResponseFn on_read_done_ LATDIV_SHARD_LOCAL;
+  // Nullable; never consulted for decisions.  Observation is serialised
+  // per-channel, so the hub pointer is only dereferenced on this
+  // controller's own tick.
+  obs::ObsHub* obs_ LATDIV_SHARD_LOCAL = nullptr;
   // Drain-episode accounting for obs_->drain_end's flushed-write count.
   std::size_t wq_at_drain_start_ = 0;
   std::uint64_t writes_arrived_in_drain_ = 0;

@@ -15,7 +15,7 @@
 // out when explaining why SBWAS trails WG-W.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "mc/controller.hpp"
 #include "mc/policy.hpp"
@@ -46,7 +46,11 @@ class SbwasPolicy final : public TransactionScheduler {
   bool try_schedule_write(MemoryController& mc, Cycle now, bool force);
 
   SbwasConfig cfg_;
-  std::unordered_map<WarpInstrUid, std::uint32_t> remaining_;
+  // Ordered map by determinism policy (latdiv-lint unordered-iter):
+  // rebuild_remaining only does point lookups/increments today, but the
+  // table is tiny (<= 64 read-queue entries) and an ordered structure
+  // keeps any future tie-break walk deterministic by construction.
+  std::map<WarpInstrUid, std::uint32_t> remaining_;
 };
 
 }  // namespace latdiv

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "dram/command.hpp"
 #include "mem/request.hpp"
@@ -120,7 +121,9 @@ class ObsHub {
 
   ObsConfig cfg_;
   ChromeTraceSink chrome_;   ///< built-in backend (used when cfg_.trace)
-  TraceSink* sink_ = nullptr;  ///< active sink; null when not tracing
+  /// Active sink; null when not tracing.  A sharded core gives each
+  /// simulation its own hub, so the sink is never written cross-thread.
+  TraceSink* sink_ LATDIV_SHARD_LOCAL = nullptr;
 
   MetricRegistry registry_;
   // Hot-path handles into registry_ (stable pointers).

@@ -12,6 +12,7 @@
 
 #include "check/invariant_checker.hpp"
 #include "check/protocol_checker.hpp"
+#include "common/annotations.hpp"
 #include "core/coordination.hpp"
 #include "core/ideal.hpp"
 #include "gpu/partition.hpp"
@@ -76,7 +77,9 @@ class Simulator {
   std::unique_ptr<TraceReplayer> replayer_;
   std::unique_ptr<TraceWriter> trace_writer_;
   std::unique_ptr<RecordingSource> recorder_;
-  InstrSource* source_ = nullptr;  ///< the source SMs actually consume
+  /// The source SMs actually consume; drained only from the simulator's
+  /// issue loop, which stays on the main/core thread under sharding.
+  InstrSource* source_ LATDIV_SHARD_LOCAL = nullptr;
   InstrTracker tracker_;
   Crossbar xbar_;
   std::vector<std::unique_ptr<Partition>> partitions_;

@@ -1,0 +1,19 @@
+// Positive fixtures for observer-purity: this file lives under an obs/
+// directory, so every entry point taking simulation state by non-const
+// reference or pointer must be reported.
+#pragma once
+
+namespace fixture {
+
+class Channel;
+class MemRequest;
+
+class MutatingObserver {
+ public:
+  void on_command(Channel& ch);  // expect: observer-purity
+  void on_request(MemRequest* req);  // expect: observer-purity
+  void on_retire(const MemRequest& req);  // const: fine
+  void on_cycle(int now);  // by value: fine
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Positive fixtures for pointer-key: ordered containers keyed by pointer
+// values iterate in allocation order, which differs run to run.
+#pragma once
+
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Request {};
+
+class RequestIndex {
+ private:
+  std::map<Request*, int> by_req_;  // expect: pointer-key
+  std::set<const Request*> live_;  // expect: pointer-key
+  std::map<int, Request*> by_id_;  // pointer *values* are fine
+};
+
+}  // namespace fixture

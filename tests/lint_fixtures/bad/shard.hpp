@@ -1,0 +1,29 @@
+// Positive fixtures for the shard-safety family.  The class is named
+// after a real shard-boundary class on purpose: the rule matches fields
+// of MemoryController/Channel/Crossbar by class name, and every
+// pointer/reference/callback field must carry LATDIV_GUARDED_BY(...) or
+// LATDIV_SHARD_LOCAL.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+class Crossbar {
+ public:
+  using HandoffFn = std::function<void(int)>;
+
+ private:
+  HandoffFn on_handoff_;  // expect: shard-boundary
+  std::uint64_t* remote_count_ = nullptr;  // expect: shard-boundary
+  static std::uint64_t instances_;  // expect: mutable-static
+  std::uint64_t local_count_ = 0;  // value field: shard-private, fine
+};
+
+inline int next_fixture_id() {
+  static int counter = 0;  // expect: mutable-static
+  return ++counter;
+}
+
+}  // namespace fixture

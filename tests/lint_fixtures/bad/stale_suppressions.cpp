@@ -1,0 +1,14 @@
+// Positive fixtures for unused-suppression: a directive that suppresses
+// nothing (or names no known rule) is itself a finding.  The
+// `// expect-below:` marker refers to the line after it.
+namespace fixture {
+
+// expect-below: unused-suppression
+// lint: pointer-key-ok
+inline double stale() { return 1.0; }
+
+// expect-below: unused-suppression
+// lint: frobnicate
+inline int unknown_directive() { return 0; }
+
+}  // namespace fixture

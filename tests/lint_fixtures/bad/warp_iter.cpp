@@ -1,0 +1,18 @@
+// Source half of the cross-file unordered-iter fixture (see
+// warp_table.hpp): iterating an accessor whose return type is declared
+// unordered in another file must be caught, as must float accumulation
+// inside that loop.
+#include "warp_table.hpp"
+
+namespace fixture {
+
+double sum_latencies(const WarpTable& wt) {
+  double acc = 0.0;
+  for (const auto& [uid, lat] : wt.latencies()) {  // expect: unordered-iter
+    (void)uid;
+    acc += lat;  // expect: float-accum
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Header half of the cross-file unordered-iter fixture: the member and
+// its accessor are declared here, the offending iteration lives in
+// warp_iter.cpp.  The linter must connect the two through its pooled
+// symbol tables.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class WarpTable {
+ public:
+  const std::unordered_map<std::uint32_t, double>& latencies() const {
+    return latencies_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, double> latencies_;
+};
+
+}  // namespace fixture

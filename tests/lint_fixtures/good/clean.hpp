@@ -1,0 +1,27 @@
+// Plain deterministic code: ordered containers, no wall clock, no global
+// randomness — latdiv-lint has nothing to say and no suppressions to use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fixture_good {
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t ns) { ++bins_[ns / 100]; }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const auto& [bin, count] : bins_) {
+      (void)bin;
+      n += count;
+    }
+    return n;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+};
+
+}  // namespace fixture_good

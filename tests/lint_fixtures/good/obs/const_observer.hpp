@@ -1,0 +1,15 @@
+// Observer-purity under obs/: const access is fine, and a deliberately
+// mutating hook can be justified with a suppression.
+#pragma once
+
+namespace fixture_good {
+
+class Channel;
+
+class ConstObserver {
+ public:
+  void on_command(const Channel& ch);
+  void reset(Channel& ch);  // lint: observer-purity-ok
+};
+
+}  // namespace fixture_good

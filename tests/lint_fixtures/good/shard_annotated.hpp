@@ -1,0 +1,31 @@
+// Shard-safety family, satisfied three ways: LATDIV_SHARD_LOCAL and
+// LATDIV_GUARDED_BY annotations on boundary fields and statics, and a
+// comment suppression for a legacy static.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture_good {
+
+class Channel {
+ public:
+  using DrainFn = std::function<void()>;
+
+ private:
+  DrainFn on_drain_ LATDIV_SHARD_LOCAL;
+  std::uint64_t* shared_ctr_ LATDIV_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t ticks_ = 0;
+};
+
+inline std::uint64_t bump() {
+  static std::uint64_t calls LATDIV_SHARD_LOCAL = 0;
+  return ++calls;
+}
+
+inline int legacy_bump() {
+  static int legacy = 0;  // lint: mutable-static-ok
+  return ++legacy;
+}
+
+}  // namespace fixture_good

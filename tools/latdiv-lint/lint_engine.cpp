@@ -1,0 +1,125 @@
+#include "lint_engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint_lexer.hpp"
+#include "lint_parser.hpp"
+#include "lint_rules.hpp"
+
+namespace latdiv::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintResult run_lint(const std::vector<std::string>& paths) {
+  LintResult result;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && is_source_file(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) result.errors.push_back(p + ": " + ec.message());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(fs::path(p).generic_string());
+    } else {
+      result.errors.push_back(p + ": not a file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      result.errors.push_back(path + ": unreadable");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FileModel m;
+    m.path = path;
+    const std::string text = buf.str();
+    lex(text, m);
+    collect_suppressions(m);
+    parse(m);
+    models.push_back(std::move(m));
+  }
+  result.files_analyzed = models.size();
+  result.findings = run_rules(models);
+  for (const FileModel& m : models) {
+    for (const Suppression& s : m.sups) {
+      if (s.used) ++result.suppressions_used;
+    }
+  }
+  return result;
+}
+
+std::string to_text(const LintResult& r) {
+  std::ostringstream out;
+  for (const std::string& e : r.errors) out << "latdiv-lint: error: " << e << "\n";
+  for (const Finding& f : r.findings) {
+    out << f.file << ":" << f.line << ": " << f.rule << ": " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const LintResult& r) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"latdiv-lint\",\n  \"version\": 1,\n";
+  out << "  \"files_analyzed\": " << r.files_analyzed << ",\n";
+  out << "  \"suppressions_used\": " << r.suppressions_used << ",\n";
+  out << "  \"finding_count\": " << r.findings.size() << ",\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (r.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace latdiv::lint

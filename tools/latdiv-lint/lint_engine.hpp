@@ -1,0 +1,34 @@
+// latdiv-lint — analysis driver.
+//
+// Expands the given paths (files, or directories searched recursively for
+// *.hpp / *.cpp), lexes and parses each file, pools the models, and runs
+// the rule catalogue.  Exposed as a library so the fixture tests and the
+// repo self-check run the analyzer in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint_model.hpp"
+
+namespace latdiv::lint {
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::size_t files_analyzed = 0;
+  std::size_t suppressions_used = 0;
+  std::vector<std::string> errors;  ///< unreadable paths etc.
+};
+
+/// Analyze every .hpp/.cpp reachable from `paths` (sorted, deduplicated —
+/// the result is independent of argument order and filesystem enumeration
+/// order; the linter holds itself to its own determinism contract).
+LintResult run_lint(const std::vector<std::string>& paths);
+
+/// `file:line: rule: message` lines, one per finding.
+std::string to_text(const LintResult& r);
+
+/// Machine-readable report (CI artifact).
+std::string to_json(const LintResult& r);
+
+}  // namespace latdiv::lint

@@ -1,0 +1,24 @@
+// latdiv-lint — C++ tokenizer.
+//
+// Produces identifier / number / string / char / punctuation tokens with
+// line numbers, collects comments separately (suppression directives live
+// in comments), and skips preprocessor directives (honoring backslash
+// continuations) so macro definitions never confuse the parser.  `<` and
+// `>` are always emitted as single tokens — never `>>` — so template
+// argument lists can be balanced without maximal-munch headaches.
+#pragma once
+
+#include <string_view>
+
+#include "lint_model.hpp"
+
+namespace latdiv::lint {
+
+/// Tokenize `text` into `out.tokens` / `out.comments`.
+void lex(std::string_view text, FileModel& out);
+
+/// Parse `lint:` suppression directives out of `out.comments` into
+/// `out.sups` (canonical rule mapping included).
+void collect_suppressions(FileModel& out);
+
+}  // namespace latdiv::lint

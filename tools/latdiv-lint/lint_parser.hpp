@@ -1,0 +1,19 @@
+// latdiv-lint — lightweight structural parser.
+//
+// Walks the token stream of one file and recovers the structure the rules
+// need: namespace/class scopes, member and (type-led) local variable
+// declarations with their types, `using`/`typedef` aliases, function
+// signatures with parameter types, and for-loops with the identifier of
+// the iterated expression.  It is a heuristic recognizer, not a C++
+// frontend: constructs it cannot classify are skipped conservatively so
+// they can never produce findings (false negatives over false positives).
+#pragma once
+
+#include "lint_model.hpp"
+
+namespace latdiv::lint {
+
+/// Populate vars/funcs/loops/classes/aliases from `m.tokens`.
+void parse(FileModel& m);
+
+}  // namespace latdiv::lint
