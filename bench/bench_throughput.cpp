@@ -10,13 +10,18 @@
 //
 // Wall-clock numbers are machine-dependent; track trends, not absolutes.
 // EXPERIMENTS.md records the reference sweep-level numbers.
+#include <sys/resource.h>
+
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/trace.hpp"
 
 using namespace latdiv;
 using namespace latdiv::bench;
@@ -103,6 +108,138 @@ int obs_overhead_section(const Options& opts) {
   return 0;
 }
 
+/// Peak resident set size in MiB (0.0 if unavailable).  Linux reports
+/// ru_maxrss in KiB.
+double peak_rss_mib() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Bounded-memory streaming replay: a >=10M-record v2 trace must replay
+/// through TraceReplayer's streaming mode without materialising the
+/// decoded stream (which would be total_records * sizeof(WarpInstr),
+/// multiple GiB).  Records a scenario microkernel to a temp file, drains
+/// every record once via the streaming replayer, and gates on the
+/// peak-RSS delta across the replay.  This is the enforcement point for
+/// the O(chunk)-memory contract in DESIGN.md ("Workload frontends");
+/// tests/test_trace_v2.cpp proves streaming == in-memory equivalence on
+/// small traces, this proves the big one never loads.
+int trace_streaming_section() {
+  constexpr std::uint32_t kSms = 8;
+  constexpr std::uint32_t kWarps = 16;
+  constexpr std::uint64_t kRecords = 10'000'000;  // divisible by 8*16
+  constexpr double kRssBoundMib = 256.0;
+  const char* path = "/tmp/latdiv_bench_stream.trace";
+
+  std::printf("\ntrace streaming — bounded-memory v2 replay, %.0fM records\n",
+              static_cast<double>(kRecords) / 1e6);
+  // Narrow pointer-chase variant: 8 active lanes keeps the temp file a
+  // few hundred MiB while the *decoded* stream is still ~2.5 GiB.
+  scenario::ScenarioSpec spec = scenario::scenario_by_name("pointer-chase");
+  spec.params.chase_lanes = 8;
+
+  const auto gen_start =
+      std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  {
+    const auto source = scenario::make_scenario(spec, kSms, kWarps, 1);
+    TraceWriter writer(path, kSms, kWarps);
+    while (writer.records_written() < kRecords) {
+      for (std::uint32_t sm = 0; sm < kSms; ++sm) {
+        for (std::uint32_t w = 0; w < kWarps; ++w) {
+          writer.record(static_cast<SmId>(sm), static_cast<WarpId>(w),
+                        source->next(static_cast<SmId>(sm),
+                                     static_cast<WarpId>(w)));
+        }
+      }
+    }
+    writer.close();
+  }
+  const double gen_s =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - gen_start)  // lint: wall-clock-ok
+          .count();
+
+  const double rss_before = peak_rss_mib();
+  const auto replay_start =
+      std::chrono::steady_clock::now();  // lint: wall-clock-ok
+  std::uint64_t drained = 0;
+  double file_mib = 0.0;
+  {
+    TraceReplayer replayer(path, ReplayMode::kStreaming);
+    if (!replayer.streaming()) {
+      std::fprintf(stderr,
+                   "bench_throughput: replayer did not open in streaming "
+                   "mode\n");
+      std::remove(path);
+      return 1;
+    }
+    file_mib = static_cast<double>(scan_trace(path).file_bytes) / 1048576.0;
+    // Generation was round-robin, so every warp holds exactly
+    // total / (sms*warps) records; one round-robin pass of that depth
+    // touches every record exactly once.
+    const std::uint64_t per_warp =
+        replayer.total_records() / (kSms * kWarps);
+    for (std::uint64_t i = 0; i < per_warp; ++i) {
+      for (std::uint32_t sm = 0; sm < kSms; ++sm) {
+        for (std::uint32_t w = 0; w < kWarps; ++w) {
+          const WarpInstr instr = replayer.next(
+              static_cast<SmId>(sm), static_cast<WarpId>(w));
+          (void)instr;  // next() reads from disk; it cannot be elided
+          ++drained;
+        }
+      }
+    }
+  }
+  const double replay_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    replay_start)  // lint: wall-clock-ok
+          .count();
+  const double rss_delta = peak_rss_mib() - rss_before;
+  const double decoded_mib = static_cast<double>(kRecords) *
+                             static_cast<double>(sizeof(WarpInstr)) /
+                             1048576.0;
+  std::remove(path);
+
+  print_row("phase", {"records", "MiB", "Mrec/s", "rss delta"});
+  print_row("generate",
+            {fixed(static_cast<double>(kRecords) / 1e6, 0) + "M",
+             fixed(file_mib, 1),
+             fixed(gen_s > 0.0
+                       ? static_cast<double>(kRecords) / 1e6 / gen_s
+                       : 0.0,
+                   2),
+             "-"});
+  print_row("stream",
+            {fixed(static_cast<double>(drained) / 1e6, 0) + "M",
+             fixed(file_mib, 1),
+             fixed(replay_s > 0.0
+                       ? static_cast<double>(drained) / 1e6 / replay_s
+                       : 0.0,
+                   2),
+             fixed(rss_delta, 1) + " MiB"});
+  if (drained != kRecords) {
+    std::fprintf(stderr,
+                 "bench_throughput: streaming replay drained %" PRIu64
+                 " of %" PRIu64 " records\n",
+                 drained, kRecords);
+    return 1;
+  }
+  if (rss_delta > kRssBoundMib) {
+    std::fprintf(stderr,
+                 "bench_throughput: streaming replay grew RSS by %.1f MiB "
+                 "(bound %.0f MiB; decoded stream would be %.0f MiB) — "
+                 "bounded-memory contract violated\n",
+                 rss_delta, kRssBoundMib, decoded_mib);
+    return 1;
+  }
+  std::printf("\nstreaming replay holds one %u-record chunk per active "
+              "warp; the decoded stream would be %.0f MiB, the RSS bound "
+              "is %.0f MiB.\n",
+              kTraceChunkRecords, decoded_mib, kRssBoundMib);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,5 +275,7 @@ int main(int argc, char** argv) {
   std::printf("\nfast-forward helps most while every component is idle "
               "(warmup tails, drained phases); dense phases run at the "
               "baseline rate.\n");
-  return obs_overhead_section(opts);
+  const int obs_rc = obs_overhead_section(opts);
+  if (obs_rc != 0) return obs_rc;
+  return trace_streaming_section();
 }

@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for on-disk integrity checks.
+//
+// Trace format v2 protects every chunk payload and the per-warp index with
+// a CRC so truncation and bit rot surface as clean fatal errors instead of
+// silently corrupted workloads.  Table-driven, one table shared process-
+// wide; the table is a pure function of the polynomial, so it is const
+// after first construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace latdiv {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace detail
+
+/// CRC-32 of `n` bytes, continuing from `seed` (pass the previous return
+/// value to checksum discontiguous regions as one stream; default starts
+/// a fresh checksum).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n,
+                                         std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::crc32_table()[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace latdiv

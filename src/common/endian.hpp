@@ -1,0 +1,48 @@
+// Byte-order conversion helpers for on-disk interchange formats.
+//
+// Trace files (workload/trace.hpp, format v2) are explicitly
+// little-endian so a trace captured on one machine replays bit-identically
+// on any other.  These helpers serialise through byte arithmetic rather
+// than memcpy-and-swap, so they are correct on any host byte order without
+// platform #ifdefs.
+#pragma once
+
+#include <cstdint>
+
+namespace latdiv {
+
+inline void put_le16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+inline void put_le32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void put_le64(unsigned char* p, std::uint64_t v) {
+  put_le32(p, static_cast<std::uint32_t>(v));
+  put_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] inline std::uint16_t get_le16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+[[nodiscard]] inline std::uint32_t get_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+[[nodiscard]] inline std::uint64_t get_le64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_le32(p)) |
+         static_cast<std::uint64_t>(get_le32(p + 4)) << 32;
+}
+
+}  // namespace latdiv

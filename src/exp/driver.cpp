@@ -80,6 +80,20 @@ void attach_obs_outputs(Manifest& manifest, const SweepRunArgs& args) {
   }
 }
 
+/// Wraps every simulated point's hook to force idle fast-forward off
+/// (--no-fast-forward).  Applied after the base hook, so it also
+/// overrides manifests that set the knob themselves.
+void disable_fast_forward(Manifest& manifest) {
+  for (ExpPoint& p : manifest.grid.points_mut()) {
+    if (p.analytic) continue;
+    const ConfigHook base = p.hook;
+    p.hook = [base](SimConfig& cfg) {
+      if (base) base(cfg);
+      cfg.idle_fast_forward = false;
+    };
+  }
+}
+
 }  // namespace
 
 int run_manifest(const std::string& name, const SweepRunArgs& args) {
@@ -113,6 +127,7 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
     }
   }
   attach_obs_outputs(manifest, args);
+  if (!args.fast_forward) disable_fast_forward(manifest);
 
   const ProgressFn progress =
       args.progress

@@ -22,6 +22,10 @@ struct SweepRunArgs {
   GoldenOptions golden;  ///< tolerances for --check
   bool timings = false;  ///< include wall_ms in the JSON (non-deterministic)
   bool progress = true;  ///< per-point progress lines on stderr
+  /// Disable idle-cycle fast-forward in every simulated point
+  /// (--no-fast-forward).  Results are contractually byte-identical with
+  /// it on or off; CI sweeps both ways and compares the artifacts.
+  bool fast_forward = true;
   /// Print a per-phase wall-clock and simulation-throughput breakdown
   /// (build / simulate / report phases, simulated Mcycles/s, peak RSS)
   /// on stderr.  Emitted even when points fail or artifact writes fail.

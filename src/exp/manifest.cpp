@@ -4,6 +4,7 @@
 
 #include "core/merb.hpp"
 #include "dram/params.hpp"
+#include "scenario/scenario.hpp"
 
 namespace latdiv::exp {
 
@@ -138,11 +139,61 @@ Manifest device(const SweepOptions& opts) {
   return m;
 }
 
+/// Scenario microkernel library x the full scheduler policy ladder.
+/// Rows are the six scenario kernels (src/scenario), which exercise
+/// access structures the statistical profiles cannot express; columns
+/// are all nine policies, normalized to GMC.
+Manifest kernels(const SweepOptions& opts) {
+  Manifest m;
+  m.spec.name = "kernels";
+  m.spec.title =
+      "Scenario microkernels — all scheduler policies, normalized to GMC";
+  m.spec.reference =
+      "second workload frontend (ROADMAP item 2): adversarial and "
+      "structured kernels beyond the Table III statistics";
+  m.spec.primary_metric = "ipc";
+  m.spec.baseline_col = "GMC";
+  static constexpr SchedulerKind kPolicies[] = {
+      SchedulerKind::kFcfs,  SchedulerKind::kFrFcfs, SchedulerKind::kGmc,
+      SchedulerKind::kWafcfs, SchedulerKind::kSbwas, SchedulerKind::kWg,
+      SchedulerKind::kWgM,   SchedulerKind::kWgBw,   SchedulerKind::kWgW};
+  for (const SchedulerKind kind : kPolicies) {
+    m.spec.col_order.emplace_back(to_string(kind));
+  }
+  const RunShape shape = opts.shape();
+  for (const scenario::ScenarioSpec& spec : scenario::scenario_catalog()) {
+    for (const SchedulerKind kind : kPolicies) {
+      for (std::uint32_t t = 0; t < shape.seeds; ++t) {
+        ExpPoint p;
+        p.row = spec.name;
+        p.col = to_string(kind);
+        p.seed = shape.base_seed + t;
+        p.id = p.row + "/" + p.col + "/s" + std::to_string(p.seed);
+        p.workload.name = spec.name;  // result label only
+        p.scheduler = kind;
+        p.cycles = shape.cycles;
+        p.warmup = shape.warmup;
+        // The catalog has static storage duration, so capturing the spec
+        // by pointer is safe across executor threads.
+        const scenario::ScenarioSpec* s = &spec;
+        p.hook = [s](SimConfig& c) {
+          c.instr_source = [s](std::uint32_t sms, std::uint32_t warps,
+                               std::uint64_t seed) {
+            return scenario::make_scenario(*s, sms, warps, seed);
+          };
+        };
+        m.grid.add(std::move(p));
+      }
+    }
+  }
+  return m;
+}
+
 }  // namespace
 
 const std::vector<std::string>& manifest_names() {
   static const std::vector<std::string> kNames = {"fig8", "tab1", "coord",
-                                                  "device"};
+                                                  "device", "kernels"};
   return kNames;
 }
 
@@ -158,6 +209,9 @@ std::string manifest_summary(const std::string& name) {
   if (name == "device") {
     return "GDDR5 vs DDR3-1600 throughput under GMC and WG-W";
   }
+  if (name == "kernels") {
+    return "scenario microkernel library x all 9 scheduler policies";
+  }
   return "";
 }
 
@@ -167,6 +221,7 @@ Manifest make_manifest(const std::string& name, const SweepOptions& opts) {
   else if (name == "tab1") m = tab1(opts);
   else if (name == "coord") m = coord(opts);
   else if (name == "device") m = device(opts);
+  else if (name == "kernels") m = kernels(opts);
   else throw std::invalid_argument("unknown manifest '" + name + "'");
   m.grid.keep_matching(opts.filter);
   return m;

@@ -16,6 +16,7 @@
 #include "mc/policy_sbwas.hpp"
 #include "mem/address_map.hpp"
 #include "obs/hub.hpp"
+#include "workload/instr_source.hpp"
 #include "workload/profile.hpp"
 
 namespace latdiv {
@@ -77,6 +78,15 @@ struct SimConfig {
   // Workload.
   WorkloadProfile workload;
   std::uint64_t seed = 1;
+  /// Escape hatch for user-defined instruction streams, mirroring
+  /// custom_policy: when set, the factory's source replaces the
+  /// statistical generator (`workload` is then only used for the result
+  /// label).  The scenario microkernels plug in through this
+  /// (src/scenario/scenario.hpp).  Sources must be deterministic from
+  /// (factory, seed) and independent of warp interleaving order.
+  std::function<std::unique_ptr<InstrSource>(
+      std::uint32_t sms, std::uint32_t warps_per_sm, std::uint64_t seed)>
+      instr_source;
   /// When non-empty, replay this instruction trace instead of the
   /// statistical generator (the trace's geometry must cover num_sms x
   /// sm.warps).  See src/workload/trace.hpp.

@@ -93,9 +93,16 @@ Simulator::Simulator(const SimConfig& cfg)
       }()) {
   zld_ = std::make_shared<ZldCoordinator>();
 
-  // Instruction source: generator by default; trace replay/capture when
-  // configured (capture wraps whichever source is active).
+  // Instruction source: generator by default, displaced by a custom
+  // factory source, displaced by trace replay; trace capture wraps
+  // whichever source is active.
   source_ = &gen_;
+  if (cfg_.instr_source) {
+    custom_source_ = cfg_.instr_source(cfg_.num_sms, cfg_.sm.warps, cfg_.seed);
+    LATDIV_ASSERT(custom_source_ != nullptr,
+                  "instr_source factory returned null");
+    source_ = custom_source_.get();
+  }
   if (!cfg_.replay_trace_path.empty()) {
     replayer_ = std::make_unique<TraceReplayer>(cfg_.replay_trace_path);
     LATDIV_ASSERT(replayer_->sms() >= cfg_.num_sms &&

@@ -74,6 +74,7 @@ class Simulator {
   DramTiming timing_;
   AddressMap amap_;
   WorkloadGenerator gen_;
+  std::unique_ptr<InstrSource> custom_source_;  ///< from cfg.instr_source
   std::unique_ptr<TraceReplayer> replayer_;
   std::unique_ptr<TraceWriter> trace_writer_;
   std::unique_ptr<RecordingSource> recorder_;

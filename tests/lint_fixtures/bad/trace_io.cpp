@@ -1,0 +1,47 @@
+// Trace-I/O idioms done wrong: what the trace capture/replay layer
+// (src/workload/trace.cpp) must never do.  Wall-clock stamps in headers,
+// unseeded shuffling, hash-ordered chunk flushing and pointer-keyed
+// stream indexes all make trace *bytes* nondeterministic across runs —
+// breaking the committed-sha256 gate in CI.  Each marker names the rule
+// that guards against the idiom.  Never compiled, only linted.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct ChunkBuf {
+  std::vector<unsigned char> payload;
+  double mean_latency = 0.0;
+};
+
+long header_timestamp() {
+  // Stamping trace headers with capture time breaks byte-identical
+  // re-capture of the same (scenario, geometry, seed).
+  return time(nullptr);  // expect: wall-clock
+}
+
+unsigned chunk_shuffle_seed() {
+  return rand();  // expect: unseeded-rng
+}
+
+double flush_open_chunks() {
+  std::unordered_map<unsigned, ChunkBuf> open_chunks;
+  double mean = 0.0;
+  // Flushing chunks in hash order writes them to the file in a
+  // different order every run.
+  for (auto it = open_chunks.begin(); it != open_chunks.end(); ++it) {  // expect: unordered-iter
+    mean += it->second.mean_latency;  // expect: float-accum
+  }
+  return mean;
+}
+
+class StreamIndex {
+ private:
+  // Chunk offsets keyed by buffer address serialize in allocation order.
+  std::map<ChunkBuf*, unsigned long> offsets_;  // expect: pointer-key
+};
+
+}  // namespace fixture

@@ -103,10 +103,11 @@ TEST(LintFixtures, GoodCorpusIsCleanAndUsesEverySuppression) {
     ADD_FAILURE() << "unexpected finding: " << f.file << ":" << f.line << ": "
                   << f.rule << ": " << f.message;
   }
-  // One suppressed case per rule family, all consumed (an unused directive
+  // One suppressed case per rule family plus the trace-reader fixture's
+  // measurement/aggregation directives, all consumed (an unused directive
   // would have been reported as a finding above).
-  EXPECT_EQ(r.suppressions_used, 8u);
-  EXPECT_EQ(r.files_analyzed, 4u);
+  EXPECT_EQ(r.suppressions_used, 11u);
+  EXPECT_EQ(r.files_analyzed, 5u);
 }
 
 TEST(LintSelfCheck, ProductionTreeIsClean) {

@@ -131,16 +131,23 @@ TEST(Trace, IdleWarpGetsComputeFiller) {
   std::remove(path.c_str());
 }
 
-TEST(TraceDeath, MissingFileAborts) {
-  EXPECT_DEATH({ TraceReplayer bad("/nonexistent/path/trace.bin"); }, "cannot open");
+TEST(TraceError_, MissingFileThrows) {
+  EXPECT_THROW({ TraceReplayer bad("/nonexistent/path/trace.bin"); },
+               TraceError);
 }
 
-TEST(TraceDeath, GarbageFileAborts) {
+TEST(TraceError_, GarbageFileThrows) {
   const std::string path = temp_trace("garbage");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   std::fputs("this is not a trace", f);
   std::fclose(f);
-  EXPECT_DEATH({ TraceReplayer bad(path); }, "not a latdiv trace");
+  try {
+    TraceReplayer bad(path);
+    FAIL() << "garbage file must not parse";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a latdiv trace"),
+              std::string::npos);
+  }
   std::remove(path.c_str());
 }
 

@@ -57,6 +57,9 @@ void usage(std::FILE* out) {
                "  --sample-interval N\n"
                "                    time-series sampling epoch in DRAM "
                "cycles (default 500)\n"
+               "  --no-fast-forward\n"
+               "                    disable idle-cycle fast-forward (results "
+               "are byte-identical either way)\n"
                "  --quiet           no per-point progress on stderr\n"
                "  --check FILE      golden-check the artifact against FILE\n"
                "  --default-tol R   relative tolerance for --check "
@@ -200,6 +203,8 @@ int cmd_run(const std::string& manifest, int argc, char** argv) {
       args.timeseries_dir = next_arg(argc, argv, i);
     } else if (std::strcmp(flag, "--sample-interval") == 0) {
       args.sample_interval = parse_u64(flag, next_arg(argc, argv, i));
+    } else if (std::strcmp(flag, "--no-fast-forward") == 0) {
+      args.fast_forward = false;
     } else if (std::strcmp(flag, "--quiet") == 0) {
       args.progress = false;
     } else if (std::strcmp(flag, "--check") == 0) {
