@@ -108,6 +108,55 @@ int obs_overhead_section(const Options& opts) {
   return 0;
 }
 
+/// Shard scaling: the channel-sharded core (src/par) at 1/2/4/6 shards,
+/// one row per shard count with per-workload Mc/s cells and a speedup
+/// column vs the serial core.  IPC must be identical at every count —
+/// the determinism contract (tests/test_shard.cpp) makes shards a pure
+/// wall-clock knob; any divergence aborts the bench.  Wall-clock scaling
+/// depends on the host's core count (worker threads are
+/// min(shards, hardware threads), overridable via LATDIV_SHARD_THREADS);
+/// single-core hosts see only the sharding overhead.
+int shard_scaling_section(const Options& opts) {
+  std::printf("\nshard scaling — channel-sharded core, Mc/s by shard "
+              "count (fast-forward on)\n");
+  const std::vector<WorkloadProfile> workloads = irregular_suite();
+  std::vector<std::string> heads;
+  for (const WorkloadProfile& w : workloads) heads.push_back(w.name);
+  heads.push_back("speedup");
+  print_row("shards", heads);
+
+  std::vector<double> base_ipc;
+  std::vector<double> base_mcs;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 6u}) {
+    Options sharded = opts;
+    sharded.shards = shards;
+    std::vector<std::string> cells;
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const Measured m =
+          measure(workloads[i], SchedulerKind::kWgW, sharded, true);
+      if (shards == 1) {
+        base_ipc.push_back(m.ipc);
+        base_mcs.push_back(m.mcycles_per_s);
+      } else if (m.ipc != base_ipc[i]) {
+        std::fprintf(stderr,
+                     "bench_throughput: shards=%u changed %s IPC "
+                     "(%.6f vs %.6f) — determinism contract violated\n",
+                     shards, workloads[i].name.c_str(), m.ipc, base_ipc[i]);
+        return 1;
+      }
+      cells.push_back(fixed(m.mcycles_per_s, 2));
+      ratios.push_back(safe_ratio(m.mcycles_per_s, base_mcs[i]));
+    }
+    cells.push_back(shards == 1 ? "1.00x" : fixed(geomean(ratios), 2) + "x");
+    print_row(std::to_string(shards), cells);
+  }
+  std::printf("\nidentical IPC at every shard count is the gate; Mc/s "
+              "scaling tracks the host's usable cores (EXPERIMENTS.md "
+              "records reference numbers).\n");
+  return 0;
+}
+
 /// Peak resident set size in MiB (0.0 if unavailable).  Linux reports
 /// ru_maxrss in KiB.
 double peak_rss_mib() {
@@ -275,6 +324,8 @@ int main(int argc, char** argv) {
   std::printf("\nfast-forward helps most while every component is idle "
               "(warmup tails, drained phases); dense phases run at the "
               "baseline rate.\n");
+  const int shard_rc = shard_scaling_section(opts);
+  if (shard_rc != 0) return shard_rc;
   const int obs_rc = obs_overhead_section(opts);
   if (obs_rc != 0) return obs_rc;
   return trace_streaming_section();

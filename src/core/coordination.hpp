@@ -24,6 +24,11 @@ namespace latdiv {
 
 class CoordinationNetwork {
  public:
+  struct Pending {
+    Cycle due;
+    CoordMsg msg;
+  };
+
   CoordinationNetwork(std::vector<MemoryController*> controllers,
                       Cycle latency = 4);
 
@@ -31,6 +36,22 @@ class CoordinationNetwork {
   /// has elapsed.  Call once per command-clock cycle after all
   /// controllers have ticked.
   void tick(Cycle now);
+
+  // --- sharded-core hooks (par::ShardEngine) ---
+  /// Enqueue one broadcast exactly as tick(sent_at) would have collected
+  /// it.  The epoch merge calls this in (cycle, controller) order, which
+  /// is the order tick() drains outboxes, so in_flight_ stays FIFO-sorted
+  /// and messages_sent() counts identically to a serial run.
+  void enqueue(const CoordMsg& msg, Cycle sent_at) {
+    in_flight_.push_back(Pending{sent_at + latency_, msg});
+    ++sent_;
+  }
+  /// Move every in-flight message due before `end` into `out` (FIFO
+  /// order, appended).  Called at the start of an epoch [start, end); the
+  /// shards apply each delivery to their own controllers at its due
+  /// cycle.  A leftover due before `start` would mean a prior epoch
+  /// skipped a delivery, which the implementation checks against.
+  void collect_due(Cycle start, Cycle end, std::vector<Pending>& out);
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
 
@@ -46,11 +67,6 @@ class CoordinationNetwork {
   }
 
  private:
-  struct Pending {
-    Cycle due;
-    CoordMsg msg;
-  };
-
   std::vector<MemoryController*> controllers_;
   Cycle latency_;
   std::deque<Pending> in_flight_;  // FIFO: constant latency keeps it sorted

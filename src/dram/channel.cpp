@@ -7,20 +7,24 @@
 namespace latdiv {
 
 Channel::Channel(const DramTiming& timing)
-    : timing_(timing), banks_(timing.banks) {
+    : timing_(timing),
+      bank_row_(timing.banks, kNoRow),
+      bank_earliest_act_(timing.banks, 0),
+      bank_earliest_cas_(timing.banks, 0),
+      bank_earliest_pre_(timing.banks, 0) {
   next_refresh_at_ = timing_.trefi;
   stats_.per_bank_activates.assign(timing.banks, 0);
   stats_.per_bank_precharges.assign(timing.banks, 0);
 }
 
 RowId Channel::open_row(BankId bank) const {
-  LATDIV_ASSERT(bank < banks_.size(), "bank index out of range");
-  return banks_[bank].row;
+  LATDIV_ASSERT(bank < bank_row_.size(), "bank index out of range");
+  return bank_row_[bank];
 }
 
 bool Channel::all_banks_closed() const {
-  return std::all_of(banks_.begin(), banks_.end(),
-                     [](const BankState& b) { return b.row == kNoRow; });
+  return std::all_of(bank_row_.begin(), bank_row_.end(),
+                     [](RowId row) { return row == kNoRow; });
 }
 
 bool Channel::refresh_due(Cycle now) const {
@@ -28,9 +32,8 @@ bool Channel::refresh_due(Cycle now) const {
 }
 
 bool Channel::act_legal(BankId bank, Cycle now) const {
-  const BankState& b = banks_[bank];
-  if (b.row != kNoRow) return false;          // must be precharged
-  if (now < b.earliest_act) return false;     // tRP / tRC / tRFC
+  if (bank_row_[bank] != kNoRow) return false;       // must be precharged
+  if (now < bank_earliest_act_[bank]) return false;  // tRP / tRC / tRFC
   if (last_act_ != kNoCycle && now < last_act_ + timing_.trrd) return false;
   const Cycle fourth_newest = act_window_[act_window_pos_];
   if (fourth_newest != kNoCycle && now < fourth_newest + timing_.tfaw) {
@@ -40,9 +43,9 @@ bool Channel::act_legal(BankId bank, Cycle now) const {
 }
 
 bool Channel::cas_legal(const DramCommand& cmd, Cycle now) const {
-  const BankState& b = banks_[cmd.bank];
-  if (b.row == kNoRow || b.row != cmd.row) return false;  // row must be open
-  if (now < b.earliest_cas) return false;                 // tRCD
+  const RowId row = bank_row_[cmd.bank];
+  if (row == kNoRow || row != cmd.row) return false;  // row must be open
+  if (now < bank_earliest_cas_[cmd.bank]) return false;  // tRCD
   const auto group = static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
   if (cmd.cmd == DramCmd::kRead) {
     if (last_rd_cmd_ != kNoCycle) {
@@ -67,15 +70,14 @@ bool Channel::cas_legal(const DramCommand& cmd, Cycle now) const {
 }
 
 bool Channel::can_issue(const DramCommand& cmd, Cycle now) const {
-  LATDIV_ASSERT(cmd.bank < banks_.size() || cmd.cmd == DramCmd::kRefresh,
+  LATDIV_ASSERT(cmd.bank < bank_row_.size() || cmd.cmd == DramCmd::kRefresh,
                 "bank index out of range");
   switch (cmd.cmd) {
     case DramCmd::kActivate:
       return act_legal(cmd.bank, now);
-    case DramCmd::kPrecharge: {
-      const BankState& b = banks_[cmd.bank];
-      return b.row != kNoRow && now >= b.earliest_pre;
-    }
+    case DramCmd::kPrecharge:
+      return bank_row_[cmd.bank] != kNoRow &&
+             now >= bank_earliest_pre_[cmd.bank];
     case DramCmd::kRead:
     case DramCmd::kWrite:
       return cas_legal(cmd, now);
@@ -83,9 +85,8 @@ bool Channel::can_issue(const DramCommand& cmd, Cycle now) const {
       if (!all_banks_closed()) return false;
       // Every bank's precharge must have completed (earliest_act embeds
       // tRP after a PRE).
-      return std::all_of(banks_.begin(), banks_.end(), [now](const BankState& b) {
-        return now >= b.earliest_act;
-      });
+      return std::all_of(bank_earliest_act_.begin(), bank_earliest_act_.end(),
+                         [now](Cycle at) { return now >= at; });
   }
   LATDIV_UNREACHABLE("bad DramCmd");
 }
@@ -99,12 +100,11 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
 
   switch (cmd.cmd) {
     case DramCmd::kActivate: {
-      BankState& b = banks_[cmd.bank];
       LATDIV_ASSERT(cmd.row != kNoRow, "ACT needs a row");
-      b.row = cmd.row;
-      b.earliest_cas = now + timing_.trcd;
-      b.earliest_pre = now + timing_.tras;
-      b.earliest_act = now + timing_.trc;
+      bank_row_[cmd.bank] = cmd.row;
+      bank_earliest_cas_[cmd.bank] = now + timing_.trcd;
+      bank_earliest_pre_[cmd.bank] = now + timing_.tras;
+      bank_earliest_act_[cmd.bank] = now + timing_.trc;
       last_act_ = now;
       act_window_[act_window_pos_] = now;
       act_window_pos_ = (act_window_pos_ + 1) % act_window_.size();
@@ -113,16 +113,16 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
       return kNoCycle;
     }
     case DramCmd::kPrecharge: {
-      BankState& b = banks_[cmd.bank];
-      b.row = kNoRow;
-      b.earliest_act = std::max(b.earliest_act, now + timing_.trp);
+      bank_row_[cmd.bank] = kNoRow;
+      bank_earliest_act_[cmd.bank] =
+          std::max(bank_earliest_act_[cmd.bank], now + timing_.trp);
       ++stats_.precharges;
       ++stats_.per_bank_precharges[cmd.bank];
       return kNoCycle;
     }
     case DramCmd::kRead: {
-      BankState& b = banks_[cmd.bank];
-      b.earliest_pre = std::max(b.earliest_pre, now + timing_.trtp);
+      bank_earliest_pre_[cmd.bank] =
+          std::max(bank_earliest_pre_[cmd.bank], now + timing_.trtp);
       last_rd_cmd_ = now;
       last_rd_group_ =
           static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
@@ -135,10 +135,10 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
       return data_start + timing_.tburst;
     }
     case DramCmd::kWrite: {
-      BankState& b = banks_[cmd.bank];
       const Cycle data_start = now + timing_.twl;
       const Cycle data_end = data_start + timing_.tburst;
-      b.earliest_pre = std::max(b.earliest_pre, data_end + timing_.twr);
+      bank_earliest_pre_[cmd.bank] =
+          std::max(bank_earliest_pre_[cmd.bank], data_end + timing_.twr);
       last_wr_cmd_ = now;
       last_wr_group_ =
           static_cast<BankGroupId>(cmd.bank / timing_.banks_per_group);
@@ -150,8 +150,8 @@ Cycle Channel::issue(const DramCommand& cmd, Cycle now) {
       return data_end;
     }
     case DramCmd::kRefresh: {
-      for (BankState& b : banks_) {
-        b.earliest_act = std::max(b.earliest_act, now + timing_.trfc);
+      for (Cycle& at : bank_earliest_act_) {
+        at = std::max(at, now + timing_.trfc);
       }
       next_refresh_at_ += timing_.trefi;
       ++stats_.refreshes;

@@ -105,18 +105,18 @@ class Channel {
   [[nodiscard]] const DramTiming& timing() const noexcept { return timing_; }
 
  private:
-  struct BankState {
-    RowId row = kNoRow;
-    Cycle earliest_act = 0;    ///< tRP after PRE, tRC after ACT, tRFC after REF
-    Cycle earliest_cas = 0;    ///< tRCD after ACT
-    Cycle earliest_pre = 0;    ///< tRAS after ACT, tRTP after RD, tWR after WR
-  };
-
   [[nodiscard]] bool act_legal(BankId bank, Cycle now) const;
   [[nodiscard]] bool cas_legal(const DramCommand& cmd, Cycle now) const;
 
   DramTiming timing_;
-  std::vector<BankState> banks_;
+  // Per-bank row-buffer state, SoA: the hottest probes scan exactly one
+  // attribute across all banks (all_banks_closed over rows, refresh
+  // legality over earliest-ACT), so parallel arrays keep each scan dense
+  // instead of striding over 32-byte bank structs.
+  std::vector<RowId> bank_row_;           ///< open row (kNoRow = precharged)
+  std::vector<Cycle> bank_earliest_act_;  ///< tRP after PRE, tRC after ACT, tRFC after REF
+  std::vector<Cycle> bank_earliest_cas_;  ///< tRCD after ACT
+  std::vector<Cycle> bank_earliest_pre_;  ///< tRAS after ACT, tRTP after RD, tWR after WR
 
   // Inter-bank activate tracking: last activate (tRRD) and the last four
   // activates (tFAW sliding window); kNoCycle = "no such activate yet".

@@ -94,6 +94,21 @@ void disable_fast_forward(Manifest& manifest) {
   }
 }
 
+/// Wraps every simulated point's hook to run on the channel-sharded core
+/// (--shards / LATDIV_SHARDS).  Applied after the base hook, so it also
+/// overrides manifests that set the knob themselves; artifact bytes are
+/// contractually unchanged (tests/test_shard.cpp).
+void apply_shards(Manifest& manifest, std::uint32_t shards) {
+  for (ExpPoint& p : manifest.grid.points_mut()) {
+    if (p.analytic) continue;
+    const ConfigHook base = p.hook;
+    p.hook = [base, shards](SimConfig& cfg) {
+      if (base) base(cfg);
+      cfg.shards = shards;
+    };
+  }
+}
+
 }  // namespace
 
 int run_manifest(const std::string& name, const SweepRunArgs& args) {
@@ -128,6 +143,7 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
   }
   attach_obs_outputs(manifest, args);
   if (!args.fast_forward) disable_fast_forward(manifest);
+  if (args.shards != 1) apply_shards(manifest, args.shards);
 
   const ProgressFn progress =
       args.progress

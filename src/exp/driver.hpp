@@ -39,6 +39,11 @@ struct SweepRunArgs {
   std::string timeseries_dir;
   /// Sampling epoch (DRAM cycles) for --timeseries rows.
   std::uint64_t sample_interval = 500;
+  /// Logical shard count for the parallel channel-sharded core in every
+  /// simulated point (--shards / LATDIV_SHARDS).  Artifact bytes are
+  /// contractually identical at any value (SimConfig::shards); CI sweeps
+  /// several counts and compares.  0 is rejected at the CLI.
+  std::uint32_t shards = 1;
 };
 
 /// Run the named manifest and print its figure table.  Returns the

@@ -25,9 +25,10 @@
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
 #include "common/types.hpp"
-#include "gpu/tracker.hpp"
+#include "gpu/tracker_sink.hpp"
 #include "icnt/crossbar.hpp"
 #include "mc/controller.hpp"
+#include "par/arena.hpp"
 
 namespace latdiv {
 
@@ -52,11 +53,14 @@ class Partition {
  public:
   /// `obs` (optional) is handed to the memory controller for
   /// request-lifecycle tracing; the partition itself never consults it.
+  /// Under a sharded core `tracker` and `obs` are the partition's
+  /// ShardEffectBuffer (the serial core passes the real InstrTracker /
+  /// ObsHub); the partition cannot tell the difference.
   Partition(ChannelId id, const PartitionConfig& cfg, const McConfig& mc_cfg,
             const DramTiming& timing,
             std::unique_ptr<TransactionScheduler> policy,
-            const AddressMap& amap, Crossbar& xbar, InstrTracker& tracker,
-            obs::ObsHub* obs = nullptr);
+            const AddressMap& amap, Crossbar& xbar, TrackerSink& tracker,
+            obs::McEventSink* obs = nullptr);
 
   /// Core-domain tick: pull requests from the crossbar through the L2
   /// pipeline, process fills, send responses.
@@ -83,6 +87,10 @@ class Partition {
   [[nodiscard]] const MshrFile& l2_mshr() const { return mshr_; }
   /// Completed DRAM reads awaiting L2 install (conservation audits).
   [[nodiscard]] std::size_t fills_pending() const { return fills_.size(); }
+  /// Slabs backing this partition's queue arena (tests assert steady-state
+  /// allocation: slab count stops growing once the queues reach their
+  /// high-water mark).
+  [[nodiscard]] std::size_t arena_slabs() const { return arena_.slabs(); }
   [[nodiscard]] const PartitionStats& stats() const { return stats_; }
   [[nodiscard]] ChannelId id() const { return id_; }
 
@@ -104,13 +112,23 @@ class Partition {
   Cache l2_;
   MshrFile mshr_;
   const AddressMap& amap_;
-  Crossbar& xbar_;
-  InstrTracker& tracker_;
+  // Shared with every partition, but partition-side calls (peek/pop of
+  // this partition's request queue, response injection) touch only
+  // per-partition deques; the crossbar's cross-partition state is
+  // advanced exclusively by the main thread's xbar.tick().
+  Crossbar& xbar_;  // lint: shard-boundary-ok
+  /// Serial core: the shared InstrTracker.  Sharded core: this
+  /// partition's own ShardEffectBuffer — never another shard's state.
+  TrackerSink& tracker_ LATDIV_SHARD_LOCAL;
+  /// Node storage for the partition's and controller's hot queues.
+  /// Declared before every container built on it — members are destroyed
+  /// in reverse order, so the arena outlives its allocations.
+  par::ShardArena arena_;
   std::unique_ptr<MemoryController> mc_;
 
-  std::deque<Delayed> pipeline_;       ///< L2 lookup latency
-  std::deque<MemRequest> fills_;       ///< completed DRAM reads to install
-  std::deque<MemResponse> responses_;  ///< staged for crossbar injection
+  std::deque<Delayed, par::ArenaAllocator<Delayed>> pipeline_;
+  std::deque<MemRequest, par::ArenaAllocator<MemRequest>> fills_;
+  std::deque<MemResponse, par::ArenaAllocator<MemResponse>> responses_;
   PartitionStats stats_;
 };
 

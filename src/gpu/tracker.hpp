@@ -21,6 +21,7 @@
 #include "common/annotations.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "gpu/tracker_sink.hpp"
 #include "mem/address_map.hpp"
 
 namespace latdiv::obs {
@@ -42,7 +43,7 @@ struct TrackerSummary {
   Accumulator divergence_gap;         ///< Fig. 10 (cycles)
 };
 
-class InstrTracker {
+class InstrTracker : public TrackerSink {
  public:
   /// Attach the introspection hub (nullable).  Finalised loads feed the
   /// hub's divergence histograms and, when tracing, the warp timeline.
@@ -53,11 +54,12 @@ class InstrTracker {
   /// Same, with the owning <SM, warp> retained for the trace track.
   void on_issue(const WarpTag& tag, Cycle now);
 
-  /// A request of `uid` entered a memory controller's read queue.
-  void on_dram_request(WarpInstrUid uid, const DramLoc& loc);
+  /// A request of `uid` entered a memory controller's read queue
+  /// (TrackerSink; direct in serial runs, merge-replayed when sharded).
+  void on_dram_request(WarpInstrUid uid, const DramLoc& loc) override;
 
   /// A DRAM request of `uid` finished its data burst.
-  void on_dram_complete(WarpInstrUid uid, Cycle done);
+  void on_dram_complete(WarpInstrUid uid, Cycle done) override;
 
   /// All of the load's lines have returned to the SM: fold and forget.
   void finalize(WarpInstrUid uid, Cycle now);

@@ -1,0 +1,28 @@
+// TrackerSink — the partition-side slice of InstrTracker's interface.
+//
+// A Partition reports per-request tracker events (request reached DRAM,
+// request completed) through this interface rather than InstrTracker
+// directly.  The serial core binds it to the real tracker; the sharded
+// core binds each partition to its shard's par::ShardEffectBuffer, which
+// records the calls and replays them into the tracker at the epoch merge
+// in deterministic order.  Issue/finalize stay SM-side (main thread) and
+// go straight to InstrTracker — only the two calls that originate inside
+// a partition cross the shard boundary.
+#pragma once
+
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+
+namespace latdiv {
+
+class TrackerSink {
+ public:
+  virtual ~TrackerSink() = default;
+
+  /// A request of `uid` entered a memory controller's read queue.
+  virtual void on_dram_request(WarpInstrUid uid, const DramLoc& loc) = 0;
+  /// A DRAM request of `uid` finished its data burst.
+  virtual void on_dram_complete(WarpInstrUid uid, Cycle done) = 0;
+};
+
+}  // namespace latdiv

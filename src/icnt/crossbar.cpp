@@ -25,7 +25,6 @@ void Crossbar::inject_request(SmId sm, MemRequest req, Cycle now) {
   LATDIV_ASSERT(can_inject_request(sm), "SM injection queue overflow");
   (void)now;
   sm_queues_[sm].push_back(req);
-  ++sm_queued_;
 }
 
 const MemRequest* Crossbar::peek_request(ChannelId part, Cycle now) const {
@@ -51,7 +50,6 @@ void Crossbar::inject_response(ChannelId part, MemResponse resp, Cycle now) {
   LATDIV_ASSERT(can_inject_response(part), "partition response overflow");
   (void)now;
   part_out_[part].push_back(resp);
-  ++part_out_queued_;
 }
 
 std::optional<MemResponse> Crossbar::pop_response(SmId sm, Cycle now) {
@@ -66,8 +64,11 @@ std::optional<MemResponse> Crossbar::pop_response(SmId sm, Cycle now) {
 void Crossbar::tick(Cycle now) {
   // Request crossbar: each partition grants one SM whose head targets it.
   // With no queued injections no grant is possible and the arbitration
-  // pointers cannot move — skip the whole grant scan.
-  for (std::uint32_t p = 0; sm_queued_ != 0 && p < cfg_.partitions; ++p) {
+  // pointers cannot move — skip the whole grant scan.  Occupancy is
+  // recounted here (main thread) rather than kept as shared counters the
+  // partition-side injectors would race on.
+  std::size_t sm_queued = requests_queued();
+  for (std::uint32_t p = 0; sm_queued != 0 && p < cfg_.partitions; ++p) {
     if (part_in_[p].size() >= cfg_.partition_in_depth) continue;
 
     auto head_targets_p = [&](std::uint32_t sm) {
@@ -94,19 +95,20 @@ void Crossbar::tick(Cycle now) {
     part_in_[p].push_back(
         {now + cfg_.request_latency, sm_queues_[granted].front()});
     sm_queues_[granted].pop_front();
-    --sm_queued_;
+    --sm_queued;
     ++stats_.requests_moved;
   }
 
   // Response crossbar: each SM accepts one response per cycle.
-  for (std::uint32_t sm = 0; part_out_queued_ != 0 && sm < cfg_.sms; ++sm) {
+  std::size_t part_out_queued = responses_queued();
+  for (std::uint32_t sm = 0; part_out_queued != 0 && sm < cfg_.sms; ++sm) {
     for (std::uint32_t off = 0; off < cfg_.partitions; ++off) {
       const std::uint32_t p = (sm_rr_[sm] + off) % cfg_.partitions;
       if (part_out_[p].empty() || part_out_[p].front().tag.sm != sm) continue;
       sm_in_[sm].push_back(
           {now + cfg_.response_latency, part_out_[p].front()});
       part_out_[p].pop_front();
-      --part_out_queued_;
+      --part_out_queued;
       sm_rr_[sm] = (p + 1) % cfg_.partitions;
       ++stats_.responses_moved;
       break;
@@ -115,7 +117,7 @@ void Crossbar::tick(Cycle now) {
 }
 
 Cycle Crossbar::next_event(Cycle now) const {
-  if (sm_queued_ != 0 || part_out_queued_ != 0) return now;
+  if (requests_queued() != 0 || responses_queued() != 0) return now;
   Cycle ev = kNoCycle;
   for (const auto& q : part_in_) {
     if (!q.empty()) ev = std::min(ev, q.front().ready_at);

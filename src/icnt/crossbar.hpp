@@ -79,10 +79,16 @@ class Crossbar {
 
   // Occupancy snapshots (time-series sampling; no timing effects).
   /// Requests waiting in SM injection queues.
-  [[nodiscard]] std::size_t requests_queued() const { return sm_queued_; }
+  [[nodiscard]] std::size_t requests_queued() const {
+    std::size_t n = 0;
+    for (const auto& q : sm_queues_) n += q.size();
+    return n;
+  }
   /// Responses waiting in partition output queues.
   [[nodiscard]] std::size_t responses_queued() const {
-    return part_out_queued_;
+    std::size_t n = 0;
+    for (const auto& q : part_out_) n += q.size();
+    return n;
   }
 
  private:
@@ -100,10 +106,10 @@ class Crossbar {
   std::vector<std::uint32_t> part_rr_;      ///< per-partition SM pointer
   std::vector<std::uint32_t> part_sticky_;  ///< last granted SM (sticky mode)
   std::vector<std::uint32_t> sm_rr_;        ///< per-SM partition pointer
-  /// Occupancy totals across sm_queues_ / part_out_, so tick() and
-  /// next_event() skip the grant scans when there is nothing to move.
-  std::size_t sm_queued_ = 0;
-  std::size_t part_out_queued_ = 0;
+  // No shared occupancy counters: inject_response() runs on worker
+  // threads under sharding (each partition touches only its own
+  // part_out_ deque), so tick()/next_event() recount locally instead of
+  // maintaining cross-shard totals.
   IcntStats stats_;
 };
 

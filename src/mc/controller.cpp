@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
-#include "obs/hub.hpp"
+#include "obs/event_sink.hpp"
 
 namespace latdiv {
 
@@ -42,17 +42,21 @@ void TransactionScheduler::on_drain_start(MemoryController&, Cycle) {}
 MemoryController::MemoryController(ChannelId id, const McConfig& cfg,
                                    const DramTiming& timing,
                                    std::unique_ptr<TransactionScheduler> policy,
-                                   ResponseFn on_read_done, obs::ObsHub* obs)
+                                   ResponseFn on_read_done,
+                                   obs::McEventSink* obs,
+                                   par::ShardArena* arena)
     : id_(id),
       cfg_(cfg),
       channel_(timing),
       policy_(std::move(policy)),
       on_read_done_(std::move(on_read_done)),
       obs_(obs),
-      read_q_(cfg.read_queue_size),
-      write_q_(cfg.write_queue_size),
-      bank_q_(timing.banks),
-      bank_meta_(timing.banks),
+      read_q_(cfg.read_queue_size, par::ArenaAllocator<MemRequest>(arena)),
+      write_q_(cfg.write_queue_size, par::ArenaAllocator<MemRequest>(arena)),
+      bank_q_(timing.banks,
+              McBankQueue(par::ArenaAllocator<MemRequest>(arena))),
+      bank_tail_row_(timing.banks, kNoRow),
+      bank_tail_streak_(timing.banks, 0),
       bank_epoch_(timing.banks, 0),
       rr_bank_in_group_(timing.banks / timing.banks_per_group, 0) {
   LATDIV_ASSERT(policy_ != nullptr, "controller needs a policy");
@@ -101,20 +105,20 @@ std::size_t MemoryController::bank_queue_size(BankId bank) const {
   return bank_q_[bank].size();
 }
 
-const std::deque<MemRequest>& MemoryController::bank_queue(BankId bank) const {
+const McBankQueue& MemoryController::bank_queue(BankId bank) const {
   LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
   return bank_q_[bank];
 }
 
 RowId MemoryController::predicted_row(BankId bank) const {
   LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
-  const BankQueueMeta& meta = bank_meta_[bank];
-  return meta.tail_row != kNoRow ? meta.tail_row : channel_.open_row(bank);
+  const RowId tail = bank_tail_row_[bank];
+  return tail != kNoRow ? tail : channel_.open_row(bank);
 }
 
 std::uint32_t MemoryController::tail_streak(BankId bank) const {
   LATDIV_ASSERT(bank < bank_q_.size(), "bank out of range");
-  return bank_meta_[bank].tail_streak;
+  return bank_tail_streak_[bank];
 }
 
 void MemoryController::send_to_bank(MemRequest req, Cycle now) {
@@ -122,12 +126,11 @@ void MemoryController::send_to_bank(MemRequest req, Cycle now) {
   LATDIV_ASSERT(bank_queue_has_space(bank), "bank command queue overflow");
   LATDIV_ASSERT(req.arrived_at_mc != kNoCycle && req.arrived_at_mc <= now,
                 "request never entered a request queue");
-  BankQueueMeta& meta = bank_meta_[bank];
-  if (req.loc.row == meta.tail_row) {
-    ++meta.tail_streak;
+  if (req.loc.row == bank_tail_row_[bank]) {
+    ++bank_tail_streak_[bank];
   } else {
-    meta.tail_row = req.loc.row;
-    meta.tail_streak = 1;
+    bank_tail_row_[bank] = req.loc.row;
+    bank_tail_streak_[bank] = 1;
   }
   if (bank_q_[bank].empty()) ++nonempty_banks_;
   bank_q_[bank].push_back(req);

@@ -34,12 +34,20 @@
 #include "dram/params.hpp"
 #include "mc/policy.hpp"
 #include "mem/request.hpp"
+#include "par/arena.hpp"
 
 namespace latdiv::obs {
-class ObsHub;
+class McEventSink;
 }
 
 namespace latdiv {
+
+/// Arena-backed queue types: node storage comes from the owning
+/// partition's ShardArena (a null arena falls back to the global heap —
+/// see par/arena.hpp).  Consumers use `auto&` / range-for, so the alias
+/// is the only place the allocator appears.
+using McRequestQueue = BoundedQueue<MemRequest, par::ArenaAllocator<MemRequest>>;
+using McBankQueue = std::deque<MemRequest, par::ArenaAllocator<MemRequest>>;
 
 struct McConfig {
   std::uint32_t read_queue_size = 64;
@@ -80,9 +88,13 @@ class MemoryController {
 
   /// `obs` (optional) receives request-lifecycle events; it is strictly
   /// an observer — scheduling behaviour is identical with or without it.
+  /// Under a sharded core it is the partition's ShardEffectBuffer rather
+  /// than the hub itself.  `arena` (optional) backs the request/command
+  /// queues' node storage.
   MemoryController(ChannelId id, const McConfig& cfg, const DramTiming& timing,
                    std::unique_ptr<TransactionScheduler> policy,
-                   ResponseFn on_read_done, obs::ObsHub* obs = nullptr);
+                   ResponseFn on_read_done, obs::McEventSink* obs = nullptr,
+                   par::ShardArena* arena = nullptr);
 
   // --- ingress (called by the partition) ---
   [[nodiscard]] bool can_accept_read() const { return !read_q_.full(); }
@@ -98,18 +110,14 @@ class MemoryController {
   void tick(Cycle now);
 
   // --- policy-facing API ---
-  [[nodiscard]] BoundedQueue<MemRequest>& read_queue() { return read_q_; }
-  [[nodiscard]] const BoundedQueue<MemRequest>& read_queue() const {
-    return read_q_;
-  }
-  [[nodiscard]] BoundedQueue<MemRequest>& write_queue() { return write_q_; }
-  [[nodiscard]] const BoundedQueue<MemRequest>& write_queue() const {
-    return write_q_;
-  }
+  [[nodiscard]] McRequestQueue& read_queue() { return read_q_; }
+  [[nodiscard]] const McRequestQueue& read_queue() const { return read_q_; }
+  [[nodiscard]] McRequestQueue& write_queue() { return write_q_; }
+  [[nodiscard]] const McRequestQueue& write_queue() const { return write_q_; }
   [[nodiscard]] bool bank_queue_has_space(BankId bank,
                                           std::size_t n = 1) const;
   [[nodiscard]] std::size_t bank_queue_size(BankId bank) const;
-  [[nodiscard]] const std::deque<MemRequest>& bank_queue(BankId bank) const;
+  [[nodiscard]] const McBankQueue& bank_queue(BankId bank) const;
   /// Row a new transaction on `bank` would find "open": the row of the
   /// last transaction enqueued to that bank, falling back to the row open
   /// in the DRAM array (paper §IV-B1's hit/miss estimate).
@@ -194,10 +202,6 @@ class MemoryController {
   [[nodiscard]] const TransactionScheduler& policy() const { return *policy_; }
 
  private:
-  struct BankQueueMeta {
-    RowId tail_row = kNoRow;
-    std::uint32_t tail_streak = 0;
-  };
   struct Inflight {
     Cycle done;
     MemRequest req;
@@ -225,17 +229,22 @@ class MemoryController {
   // than invoked cross-thread, so the callback itself stays shard-local.
   ResponseFn on_read_done_ LATDIV_SHARD_LOCAL;
   // Nullable; never consulted for decisions.  Observation is serialised
-  // per-channel, so the hub pointer is only dereferenced on this
-  // controller's own tick.
-  obs::ObsHub* obs_ LATDIV_SHARD_LOCAL = nullptr;
+  // per-channel, so the sink pointer is only dereferenced on this
+  // controller's own tick (the sharded core binds it to the partition's
+  // ShardEffectBuffer, the serial core to the ObsHub).
+  obs::McEventSink* obs_ LATDIV_SHARD_LOCAL = nullptr;
   // Drain-episode accounting for obs_->drain_end's flushed-write count.
   std::size_t wq_at_drain_start_ = 0;
   std::uint64_t writes_arrived_in_drain_ = 0;
 
-  BoundedQueue<MemRequest> read_q_;
-  BoundedQueue<MemRequest> write_q_;
-  std::vector<std::deque<MemRequest>> bank_q_;
-  std::vector<BankQueueMeta> bank_meta_;
+  McRequestQueue read_q_;
+  McRequestQueue write_q_;
+  std::vector<McBankQueue> bank_q_;
+  // Per-bank insertion metadata, SoA: predicted_row()/tail_streak() are
+  // the policies' hottest probes and each touches exactly one of the two
+  // arrays, so splitting them keeps the scanned array dense in cache.
+  std::vector<RowId> bank_tail_row_;
+  std::vector<std::uint32_t> bank_tail_streak_;
   std::size_t cmdq_total_ = 0;
   std::uint32_t nonempty_banks_ = 0;
 

@@ -1,0 +1,43 @@
+// McEventSink — the controller-side slice of the introspection surface.
+//
+// MemoryController narrates request lifecycle events through this
+// interface instead of a concrete ObsHub so the sharded core can
+// interpose: on worker threads each partition's controller writes into a
+// par::ShardEffectBuffer (which implements this interface by recording),
+// and the epoch merge replays the buffered events into the real ObsHub in
+// deterministic (cycle, phase, partition) order.  In serial runs the
+// controller points straight at the hub and behaviour is unchanged.
+//
+// The pointer stays nullable: a null sink is the disabled path, one
+// branch per would-be event, exactly as before.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/command.hpp"
+#include "mem/request.hpp"
+
+namespace latdiv::obs {
+
+class McEventSink {
+ public:
+  virtual ~McEventSink() = default;
+
+  /// Request entered the controller's read/write queue.
+  virtual void req_enqueued(const MemRequest& req, Cycle now) = 0;
+  /// Read CAS issued for the request (head of its bank's command queue).
+  virtual void req_cas(const MemRequest& req, Cycle now) = 0;
+  /// Read data burst fully returned to the controller.
+  virtual void req_data(const MemRequest& req, Cycle done) = 0;
+  /// Write data accepted by the DRAM (the write's terminal event).
+  virtual void req_write_retired(const MemRequest& req, Cycle done) = 0;
+  /// Row-state command observed on a channel (ACT/PRE/REF).
+  virtual void dram_command(ChannelId ch, const DramCommand& cmd,
+                            Cycle now) = 0;
+  /// Write-drain episode boundaries.
+  virtual void drain_begin(ChannelId ch, Cycle now) = 0;
+  virtual void drain_end(ChannelId ch, Cycle now, std::uint64_t writes) = 0;
+};
+
+}  // namespace latdiv::obs

@@ -25,6 +25,7 @@
 #include "common/types.hpp"
 #include "dram/command.hpp"
 #include "mem/request.hpp"
+#include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -47,7 +48,7 @@ struct ObsConfig {
   }
 };
 
-class ObsHub {
+class ObsHub : public McEventSink {
  public:
   explicit ObsHub(const ObsConfig& cfg);
   ObsHub(const ObsHub&) = delete;
@@ -64,21 +65,18 @@ class ObsHub {
     return cfg_.sample_interval;
   }
 
-  // --- request lifecycle (called by mc::MemoryController) ---
-  /// Request entered the controller's read/write queue.
-  void req_enqueued(const MemRequest& req, Cycle now);
-  /// Read CAS issued for the request (head of its bank's command queue).
-  void req_cas(const MemRequest& req, Cycle now);
-  /// Read data burst fully returned to the controller.
-  void req_data(const MemRequest& req, Cycle done);
-  /// Write data accepted by the DRAM (the write's terminal event).
-  void req_write_retired(const MemRequest& req, Cycle done);
+  // --- request lifecycle (McEventSink; called by mc::MemoryController
+  // directly in serial runs, via the epoch-merge replay when sharded) ---
+  void req_enqueued(const MemRequest& req, Cycle now) override;
+  void req_cas(const MemRequest& req, Cycle now) override;
+  void req_data(const MemRequest& req, Cycle done) override;
+  void req_write_retired(const MemRequest& req, Cycle done) override;
   /// Row-state command observed on a channel (ACT/PRE/REF; RD/WR arrive
   /// via req_cas / req_write_retired with request context attached).
-  void dram_command(ChannelId ch, const DramCommand& cmd, Cycle now);
+  void dram_command(ChannelId ch, const DramCommand& cmd, Cycle now) override;
   /// Write-drain episode boundaries (controller entered / left write mode).
-  void drain_begin(ChannelId ch, Cycle now);
-  void drain_end(ChannelId ch, Cycle now, std::uint64_t writes);
+  void drain_begin(ChannelId ch, Cycle now) override;
+  void drain_end(ChannelId ch, Cycle now, std::uint64_t writes) override;
 
   // --- warp lifecycle (called by gpu::InstrTracker) ---
   /// One warp load retired: issue cycle, first/last DRAM completion, the

@@ -1,0 +1,101 @@
+#include "par/engine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "gpu/partition.hpp"
+
+namespace latdiv::par {
+
+ShardEngine::ShardEngine(std::uint32_t partitions, std::uint32_t shards)
+    : shards_(std::clamp<std::uint32_t>(shards, 1, partitions)),
+      buffers_(partitions),
+      pool_(std::make_unique<WorkerPool>(pick_worker_threads(shards_))) {
+  // Contiguous, balanced ranges: channel locality within a shard, and a
+  // fixed partition->shard map for any given (partitions, shards) pair.
+  const std::uint32_t base = partitions / shards_;
+  const std::uint32_t rem = partitions % shards_;
+  std::uint32_t next = 0;
+  ranges_.reserve(shards_);
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    const std::uint32_t len = base + (s < rem ? 1 : 0);
+    ranges_.push_back(Range{next, next + len});
+    next += len;
+  }
+  LATDIV_DCHECK(next == partitions, "shard ranges must cover partitions");
+}
+
+void ShardEngine::bind(std::vector<Partition*> partitions,
+                       CoordinationNetwork* coord, TrackerSink* tracker,
+                       obs::McEventSink* hub) {
+  LATDIV_ASSERT(partitions.size() == buffers_.size(),
+                "engine bound to a different partition count");
+  partitions_ = std::move(partitions);
+  coord_ = coord;
+  tracker_ = tracker;
+  hub_ = hub;
+}
+
+void ShardEngine::advance(Cycle start, Cycle end, bool core_tick) {
+  LATDIV_DCHECK(end > start, "empty epoch");
+  deliveries_.clear();
+  coord_->collect_due(start, end, deliveries_);
+
+  pool_->run(shards_, [this, start, end, core_tick](std::size_t s) {
+    run_shard(s, start, end, core_tick);
+  });
+
+  merge(start, end, core_tick);
+}
+
+void ShardEngine::run_shard(std::size_t s, Cycle start, Cycle end,
+                            bool core_tick) {
+  const Range range = ranges_[s];
+  for (std::uint32_t p = range.first; p < range.last; ++p) {
+    Partition& part = *partitions_[p];
+    ShardEffectBuffer& buf = buffers_[p];
+    if (core_tick) {
+      buf.begin(start, Phase::kCore);
+      part.tick_core(start);
+    }
+    for (Cycle t = start; t < end; ++t) {
+      buf.begin(t, Phase::kDram);
+      part.tick_dram(t);
+      // Broadcasts drained here instead of by CoordinationNetwork::tick;
+      // the merge enqueues them in the same controller order.
+      std::vector<CoordMsg>& outbox = part.mc().outbox();
+      for (const CoordMsg& msg : outbox) buf.coord_send(t, msg);
+      outbox.clear();
+      // Deliveries due this cycle (sent >= one epoch ago; the latency
+      // floor guarantees nothing sent above is due below).  Serial order:
+      // tick(t) delivers after all controllers ticked at t.
+      for (const CoordinationNetwork::Pending& pd : deliveries_) {
+        if (pd.due == t && pd.msg.source != part.id()) {
+          part.mc().deliver_coordination(pd.msg, t);
+        }
+      }
+    }
+  }
+}
+
+void ShardEngine::merge(Cycle start, Cycle end, bool core_tick) {
+  const std::size_t n = buffers_.size();
+  for (Cycle t = start; t < end; ++t) {
+    if (t == start && core_tick) {
+      for (std::size_t p = 0; p < n; ++p) {
+        buffers_[p].replay(t, Phase::kCore, hub_, *tracker_);
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      buffers_[p].replay(t, Phase::kDram, hub_, *tracker_);
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      while (const CoordMsg* msg = buffers_[p].pop_send(t)) {
+        coord_->enqueue(*msg, t);
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) buffers_[p].clear();
+}
+
+}  // namespace latdiv::par

@@ -1,0 +1,112 @@
+// ShardEngine — the deterministic channel-sharded epoch core.
+//
+// The six memory partitions (L2 slice + controller + DRAM channel + the
+// policy's per-channel MERB/warp-group index) are divided into contiguous
+// shards.  Each epoch [start, end) — always bounded by the next core-
+// domain tick, so never longer than SmConfig::core_clock_ratio cycles —
+// runs in three strictly ordered stages:
+//
+//   1. front end (main thread, before advance()): if `start` is a core
+//      tick, the simulator runs the SMs and the crossbar exactly as the
+//      serial core would;
+//   2. shards (worker pool): each shard advances its partitions through
+//      the whole epoch — tick_core at the core tick, then tick_dram for
+//      every cycle — recording all cross-shard effects (tracker events,
+//      obs events, coordination broadcasts) into per-partition
+//      ShardEffectBuffers, and applying the coordination deliveries that
+//      fall due inside the epoch to its own controllers;
+//   3. merge (main thread): replay the buffered effects into the real
+//      InstrTracker / ObsHub / CoordinationNetwork in (cycle, phase,
+//      partition, record) order — the exact call order of the serial
+//      per-cycle loop — then return to the simulator for boundary work
+//      (audits, sampling, fast-forward).
+//
+// Why the partitions may run the whole epoch unsynchronized: within an
+// epoch nothing flows *between* partitions.  The crossbar hand-off is
+// per-partition FIFOs written only by the main-thread front end (stage 1
+// precedes stage 2); coordination messages have a delivery latency of at
+// least core_clock_ratio cycles (checked by the simulator before it
+// enables sharding), so a broadcast sent inside an epoch is never due
+// inside it — collect_due() at epoch start sees every delivery the epoch
+// needs.  Everything else a partition touches, it owns.
+//
+// Determinism contract: artifacts are byte-identical to the serial core
+// for any shard count and any worker-thread count, because the merge
+// order depends only on (cycle, phase, partition) — never on shard
+// boundaries or thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/types.hpp"
+#include "core/coordination.hpp"
+#include "par/shard_buffer.hpp"
+#include "par/worker_pool.hpp"
+
+namespace latdiv {
+class Partition;
+}
+
+namespace latdiv::par {
+
+class ShardEngine {
+ public:
+  /// `shards` is clamped to [1, partitions].  Worker threads are chosen
+  /// by pick_worker_threads() — a pure execution policy that never
+  /// affects artifacts.
+  ShardEngine(std::uint32_t partitions, std::uint32_t shards);
+
+  /// Per-partition effect buffer; partitions bind their controller-side
+  /// sinks (TrackerSink, obs::McEventSink, channel command observer) to
+  /// this at construction.
+  [[nodiscard]] ShardEffectBuffer* buffer(std::size_t partition) {
+    return &buffers_[partition];
+  }
+
+  /// Late-bind the simulation's shared consumers (the simulator
+  /// constructs partitions and the coordination network after the
+  /// engine).  `hub` may be null when observability is off.
+  void bind(std::vector<Partition*> partitions, CoordinationNetwork* coord,
+            TrackerSink* tracker, obs::McEventSink* hub);
+
+  /// Advance every partition over [start, end); `core_tick` is whether
+  /// `start` is a core-domain tick (the front end has already run it).
+  void advance(Cycle start, Cycle end, bool core_tick);
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+  [[nodiscard]] unsigned worker_threads() const noexcept {
+    return pool_->workers();
+  }
+
+ private:
+  void run_shard(std::size_t s, Cycle start, Cycle end, bool core_tick);
+  void merge(Cycle start, Cycle end, bool core_tick);
+
+  struct Range {
+    std::uint32_t first;
+    std::uint32_t last;  ///< exclusive
+  };
+
+  std::uint32_t shards_;
+  std::vector<Range> ranges_;  ///< partition range per shard
+  std::vector<ShardEffectBuffer> buffers_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  // Bound once on the main thread before any worker exists and never
+  // reassigned; each worker dereferences only the partitions of its own
+  // range, and coord_/tracker_/hub_ are touched only from the main
+  // thread's merge.
+  std::vector<Partition*> partitions_;  // lint: shard-boundary-ok
+  CoordinationNetwork* coord_ LATDIV_SHARD_LOCAL = nullptr;
+  TrackerSink* tracker_ LATDIV_SHARD_LOCAL = nullptr;
+  obs::McEventSink* hub_ LATDIV_SHARD_LOCAL = nullptr;
+
+  /// Deliveries falling due inside the current epoch (FIFO).  Filled by
+  /// the main thread before the shards start, read-only inside the epoch.
+  std::vector<CoordinationNetwork::Pending> deliveries_;
+};
+
+}  // namespace latdiv::par

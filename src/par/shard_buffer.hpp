@@ -1,0 +1,225 @@
+// ShardEffectBuffer — a partition's deferred cross-shard side effects.
+//
+// Inside an epoch a worker thread may not touch anything owned by the
+// main thread: the ObsHub, the InstrTracker, the coordination network's
+// in-flight queue.  Each partition therefore points its controller-side
+// sinks (obs::McEventSink, TrackerSink) at its own ShardEffectBuffer,
+// which records the calls verbatim — stamped with the cycle and intra-
+// cycle phase they occurred in — and the epoch merge replays them into
+// the real consumers afterwards.
+//
+// Determinism hinges on one property: a buffer's event stream is already
+// sorted by (cycle, phase) because a shard executes its partitions
+// monotonically (tick_core at the epoch's core tick, then tick_dram for
+// each cycle in order).  The merge therefore never sorts; it walks
+// cycles × phases × partitions with a cursor per buffer and replays
+// matching prefixes.  That reproduces the serial call order exactly:
+// within one cycle the serial core runs every partition's core phase
+// (partition order), then every dram phase (partition order), then the
+// coordination pickup (partition order again — see pop_send).
+//
+// The buffer records the sink calls' arguments verbatim (all flat PODs)
+// and is cleared every epoch; vectors keep their capacity, so the
+// steady-state epoch allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "dram/command.hpp"
+#include "gpu/tracker_sink.hpp"
+#include "mc/policy.hpp"
+#include "mem/address_map.hpp"
+#include "mem/request.hpp"
+#include "obs/event_sink.hpp"
+
+namespace latdiv::par {
+
+/// Intra-cycle phase of the serial step order.  Core (SM/crossbar/L2
+/// ingress) precedes DRAM within a cycle; the merge replays in this
+/// order.
+enum class Phase : std::uint8_t { kCore = 0, kDram = 1 };
+
+class ShardEffectBuffer final : public obs::McEventSink, public TrackerSink {
+ public:
+  /// Stamp subsequent events with (cycle, phase).  The owning shard task
+  /// calls this before each tick_core / tick_dram of the partition;
+  /// stamps must be non-decreasing within an epoch (merge precondition).
+  void begin(Cycle cycle, Phase phase) {
+    LATDIV_DCHECK(events_.empty() || cycle > cycle_ ||
+                      (cycle == cycle_ && phase >= phase_),
+                  "shard effect stamps must be monotonic");
+    cycle_ = cycle;
+    phase_ = phase;
+  }
+
+  // --- McEventSink (recorded) ---
+  void req_enqueued(const MemRequest& req, Cycle now) override {
+    push(Event::Kind::kReqEnqueued, now).req = req;
+  }
+  void req_cas(const MemRequest& req, Cycle now) override {
+    push(Event::Kind::kReqCas, now).req = req;
+  }
+  void req_data(const MemRequest& req, Cycle done) override {
+    push(Event::Kind::kReqData, done).req = req;
+  }
+  void req_write_retired(const MemRequest& req, Cycle done) override {
+    push(Event::Kind::kReqWriteRetired, done).req = req;
+  }
+  void dram_command(ChannelId ch, const DramCommand& cmd,
+                    Cycle now) override {
+    Event& e = push(Event::Kind::kDramCommand, now);
+    e.ch = ch;
+    e.cmd = cmd;
+  }
+  void drain_begin(ChannelId ch, Cycle now) override {
+    push(Event::Kind::kDrainBegin, now).ch = ch;
+  }
+  void drain_end(ChannelId ch, Cycle now, std::uint64_t writes) override {
+    Event& e = push(Event::Kind::kDrainEnd, now);
+    e.ch = ch;
+    e.writes = writes;
+  }
+
+  // --- TrackerSink (recorded) ---
+  void on_dram_request(WarpInstrUid uid, const DramLoc& loc) override {
+    Event& e = push(Event::Kind::kTrackRequest, cycle_);
+    e.uid = uid;
+    e.loc = loc;
+  }
+  void on_dram_complete(WarpInstrUid uid, Cycle done) override {
+    Event& e = push(Event::Kind::kTrackComplete, done);
+    e.uid = uid;
+  }
+
+  /// Record a coordination broadcast drained from the controller's outbox
+  /// after its dram tick at `sent_at`.
+  void coord_send(Cycle sent_at, const CoordMsg& msg) {
+    sends_.push_back(Send{sent_at, msg});
+  }
+
+  // --- merge side (main thread, workers joined) ---
+
+  /// Replay the events stamped exactly (cycle, phase) — a prefix at the
+  /// cursor — into the real consumers, in record order.  `obs` may be
+  /// null only if no obs events were recorded.
+  void replay(Cycle cycle, Phase phase, obs::McEventSink* obs,
+              TrackerSink& tracker) {
+    while (replay_cursor_ < events_.size()) {
+      const Event& e = events_[replay_cursor_];
+      if (e.cycle != cycle || e.phase != phase) break;
+      ++replay_cursor_;
+      switch (e.kind) {
+        case Event::Kind::kTrackRequest:
+          tracker.on_dram_request(e.uid, e.loc);
+          break;
+        case Event::Kind::kTrackComplete:
+          tracker.on_dram_complete(e.uid, e.when);
+          break;
+        case Event::Kind::kReqEnqueued:
+          LATDIV_DCHECK(obs != nullptr, "obs event without a hub");
+          obs->req_enqueued(e.req, e.when);
+          break;
+        case Event::Kind::kReqCas:
+          obs->req_cas(e.req, e.when);
+          break;
+        case Event::Kind::kReqData:
+          obs->req_data(e.req, e.when);
+          break;
+        case Event::Kind::kReqWriteRetired:
+          obs->req_write_retired(e.req, e.when);
+          break;
+        case Event::Kind::kDramCommand:
+          obs->dram_command(e.ch, e.cmd, e.when);
+          break;
+        case Event::Kind::kDrainBegin:
+          obs->drain_begin(e.ch, e.when);
+          break;
+        case Event::Kind::kDrainEnd:
+          obs->drain_end(e.ch, e.when, e.writes);
+          break;
+      }
+    }
+  }
+
+  /// Next coordination send stamped `cycle` (FIFO), or nullptr.  Advances
+  /// the send cursor on a hit.
+  [[nodiscard]] const CoordMsg* pop_send(Cycle cycle) {
+    if (send_cursor_ < sends_.size() && sends_[send_cursor_].sent == cycle) {
+      return &sends_[send_cursor_++].msg;
+    }
+    return nullptr;
+  }
+
+  /// Reset for the next epoch.  DCHECKs that the merge consumed
+  /// everything — a leftover means the epoch ended before an event's
+  /// stamp, i.e. a buffered effect would be silently dropped.
+  void clear() {
+    LATDIV_DCHECK(replay_cursor_ == events_.size(),
+                  "unreplayed shard effects at epoch end");
+    LATDIV_DCHECK(send_cursor_ == sends_.size(),
+                  "unmerged coordination sends at epoch end");
+    events_.clear();
+    sends_.clear();
+    replay_cursor_ = 0;
+    send_cursor_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return events_.empty() && sends_.empty();
+  }
+
+ private:
+  // Flat record — no union; all payload types are small PODs and the
+  // buffer only lives one epoch, so clarity beats the few spare bytes.
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kReqEnqueued,
+      kReqCas,
+      kReqData,
+      kReqWriteRetired,
+      kDramCommand,
+      kDrainBegin,
+      kDrainEnd,
+      kTrackRequest,
+      kTrackComplete,
+    };
+    Kind kind;
+    Phase phase;
+    ChannelId ch = 0;
+    Cycle cycle = 0;  ///< stamp: when in the epoch this was recorded
+    Cycle when = 0;   ///< the sink call's own cycle argument, verbatim
+    MemRequest req;
+    DramCommand cmd;
+    std::uint64_t writes = 0;
+    WarpInstrUid uid = 0;
+    DramLoc loc;
+  };
+  struct Send {
+    Cycle sent;
+    CoordMsg msg;
+  };
+
+  Event& push(Event::Kind kind, Cycle when) {
+    Event& e = events_.emplace_back();
+    e.kind = kind;
+    e.phase = phase_;
+    e.cycle = cycle_;
+    e.when = when;
+    return e;
+  }
+
+  // Written only by the owning shard's worker inside an epoch, read only
+  // by the main thread after the barrier.
+  std::vector<Event> events_ LATDIV_SHARD_LOCAL;
+  std::vector<Send> sends_ LATDIV_SHARD_LOCAL;
+  Cycle cycle_ LATDIV_SHARD_LOCAL = 0;
+  Phase phase_ LATDIV_SHARD_LOCAL = Phase::kCore;
+  std::size_t replay_cursor_ LATDIV_SHARD_LOCAL = 0;
+  std::size_t send_cursor_ LATDIV_SHARD_LOCAL = 0;
+};
+
+}  // namespace latdiv::par

@@ -1,0 +1,89 @@
+#include "par/worker_pool.hpp"
+
+#include <cstdlib>
+
+namespace latdiv::par {
+
+WorkerPool::WorkerPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+// The cv waits need a movable lock, which the annotated MutexLock is not;
+// the locking discipline here is the classic generation-counter barrier
+// and is exercised under TSan by CI's tsan-smoke job.
+void WorkerPool::run(std::size_t tasks, const Task& fn) LATDIV_NO_TSA {
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<Mutex> lock(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    busy_ = threads_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller works too: claim indices until the counter runs dry.
+  for (std::size_t i;
+       (i = next_task_.fetch_add(1, std::memory_order_relaxed)) < tasks;) {
+    fn(i);
+  }
+  std::unique_lock<Mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return busy_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::worker_loop() LATDIV_NO_TSA {
+  std::uint64_t seen = 0;
+  std::unique_lock<Mutex> lock(mu_);
+  while (true) {
+    cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const Task* fn = fn_;
+    const std::size_t tasks = tasks_;
+    lock.unlock();
+    for (std::size_t i;
+         (i = next_task_.fetch_add(1, std::memory_order_relaxed)) < tasks;) {
+      (*fn)(i);
+    }
+    lock.lock();
+    if (--busy_ == 0) cv_done_.notify_one();
+  }
+}
+
+unsigned pick_worker_threads(unsigned shards) {
+  if (shards <= 1) return 0;
+  unsigned want = 0;
+  if (const char* env = std::getenv("LATDIV_SHARD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      want = static_cast<unsigned>(v);
+    }
+  }
+  if (want == 0) {
+    want = std::thread::hardware_concurrency();
+    if (want == 0) want = 1;
+  }
+  if (want > shards) want = shards;
+  // The calling thread participates in run(), so N-way execution needs
+  // N-1 spawned workers.
+  return want - 1;
+}
+
+}  // namespace latdiv::par

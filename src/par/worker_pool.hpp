@@ -1,0 +1,87 @@
+// Persistent worker pool for the channel-sharded simulation core.
+//
+// One pool per sharded Simulator.  Each epoch the simulator calls run():
+// worker threads plus the calling (main) thread claim shard indices from a
+// shared atomic counter and execute the epoch task for each; run() returns
+// when every index is done.  Two condition variables give one wake/sleep
+// round trip per epoch.
+//
+// Waits are *blocking*, never spinning: a simulation point may be
+// oversubscribed (more shards than cores, TSan CI forcing 6 threads on a
+// 2-core runner, or many sharded points inside a --jobs sweep), and a
+// spin barrier would turn every oversubscribed epoch into a scheduler
+// fight.  With zero worker threads the pool degrades to a plain serial
+// loop on the caller — the same code path the determinism tests compare
+// against, with no threads created at all.
+//
+// Determinism: the pool imposes *no* ordering on task execution, and does
+// not need to — shard effects are buffered per partition and replayed in
+// a fixed order by the merge (see engine.hpp), so artifacts are identical
+// for any worker count, including zero.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace latdiv::par {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void(std::size_t)>;
+
+  /// Spawn `workers` persistent threads (0 = serial fallback).
+  explicit WorkerPool(unsigned workers);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Run fn(i) for every i in [0, tasks).  The calling thread
+  /// participates; returns once all indices have completed.  The
+  /// completed work of every task happens-before the return (the join is
+  /// a full synchronization point — the merge may read shard state
+  /// without locks afterwards).
+  void run(std::size_t tasks, const Task& fn);
+
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+
+  // condition_variable_any: latdiv::Mutex is BasicLockable but not a
+  // std::mutex, which is what plain condition_variable requires.
+  latdiv::Mutex mu_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable_any cv_done_;
+  std::uint64_t generation_ LATDIV_GUARDED_BY(mu_) = 0;
+  std::size_t tasks_ LATDIV_GUARDED_BY(mu_) = 0;
+  /// Current epoch's task; only valid for the generation published with
+  /// it.  Set under mu_ before the start broadcast, cleared after join.
+  const Task* fn_ LATDIV_GUARDED_BY(mu_) = nullptr;
+  /// Workers that have not yet finished the current generation.
+  std::size_t busy_ LATDIV_GUARDED_BY(mu_) = 0;
+  bool stop_ LATDIV_GUARDED_BY(mu_) = false;
+
+  /// Next unclaimed task index (shared work-stealing counter; claiming is
+  /// lock-free so an idle worker never blocks a busy one).
+  std::atomic<std::size_t> next_task_{0};
+};
+
+/// Worker-thread count for a run with `shards` logical shards: the
+/// LATDIV_SHARD_THREADS env var when set (clamped to [1, shards]; 0 or
+/// invalid = auto), else min(shards, hardware_concurrency).  Logical
+/// shard count is a determinism-contract parameter; thread count is pure
+/// execution policy — artifacts never depend on it.
+[[nodiscard]] unsigned pick_worker_threads(unsigned shards);
+
+}  // namespace latdiv::par

@@ -127,19 +127,45 @@ Simulator::Simulator(const SimConfig& cfg)
     tracker_.set_obs(obs_hub_.get());
   }
 
+  // Parallel channel-sharded core (src/par).  Constructed before the
+  // partitions so each partition can be bound to its shard's effect
+  // buffer instead of the shared tracker/hub.  Configurations that share
+  // scheduler state across channels (the ZLD coordinator, arbitrary
+  // custom_policy factories) fall back to the serial core, as does a
+  // coordination latency shorter than an epoch (the barrier correctness
+  // precondition — see par/engine.hpp).
+  const bool sharded =
+      cfg_.shards > 1 && cfg_.icnt.partitions > 1 &&
+      cfg_.scheduler != SchedulerKind::kZld && !cfg_.custom_policy &&
+      cfg_.coordination_latency >= cfg_.sm.core_clock_ratio;
+  if (sharded) {
+    engine_ =
+        std::make_unique<par::ShardEngine>(cfg_.icnt.partitions, cfg_.shards);
+  }
+
   for (std::uint32_t p = 0; p < cfg_.icnt.partitions; ++p) {
+    TrackerSink& tsink =
+        engine_ ? static_cast<TrackerSink&>(*engine_->buffer(p)) : tracker_;
+    obs::McEventSink* osink =
+        obs_hub_ ? (engine_ ? static_cast<obs::McEventSink*>(engine_->buffer(p))
+                            : static_cast<obs::McEventSink*>(obs_hub_.get()))
+                 : nullptr;
     partitions_.push_back(std::make_unique<Partition>(
         static_cast<ChannelId>(p), cfg_.partition, cfg_.mc, timing_,
-        make_policy(static_cast<ChannelId>(p)), amap_, xbar_, tracker_,
-        obs_hub_.get()));
+        make_policy(static_cast<ChannelId>(p)), amap_, xbar_, tsink, osink));
   }
   if (obs_hub_ && obs_hub_->tracing()) {
     for (auto& part : partitions_) {
       const ChannelId ch = part->id();
-      obs::ObsHub* hub = obs_hub_.get();
+      // Under sharding, command events are staged in the partition's
+      // effect buffer and replayed into the hub at the epoch merge, in
+      // the exact serial order.
+      obs::McEventSink* sink =
+          engine_ ? static_cast<obs::McEventSink*>(engine_->buffer(ch))
+                  : static_cast<obs::McEventSink*>(obs_hub_.get());
       part->mc().channel_mut().add_command_observer(
-          [hub, ch](const DramCommand& cmd, Cycle at) {
-            hub->dram_command(ch, cmd, at);
+          [sink, ch](const DramCommand& cmd, Cycle at) {
+            sink->dram_command(ch, cmd, at);
           });
     }
   }
@@ -155,6 +181,12 @@ Simulator::Simulator(const SimConfig& cfg)
   for (auto& part : partitions_) mcs.push_back(&part->mc());
   coord_ = std::make_unique<CoordinationNetwork>(std::move(mcs),
                                                  cfg_.coordination_latency);
+  if (engine_) {
+    std::vector<Partition*> raw;
+    raw.reserve(partitions_.size());
+    for (auto& part : partitions_) raw.push_back(part.get());
+    engine_->bind(std::move(raw), coord_.get(), &tracker_, obs_hub_.get());
+  }
 
   // Correctness checkers: a shadow protocol verifier per channel, one
   // conservation auditor across the whole request path.
@@ -205,6 +237,12 @@ void Simulator::audit_invariants() {
 }
 
 void Simulator::step() {
+  if (engine_) {
+    // One-cycle epoch: incremental drivers and the sharded run() loop go
+    // through the same machinery, so per-cycle state is identical.
+    advance_epoch(now_ + 1);
+    return;
+  }
   const bool core_tick = now_ % cfg_.sm.core_clock_ratio == 0;
   if (core_tick) {
     for (auto& sm : sms_) sm->tick(now_);
@@ -214,7 +252,10 @@ void Simulator::step() {
   for (auto& part : partitions_) part->tick_dram(now_);
   coord_->tick(now_);
   ++now_;
+  boundary_checks();
+}
 
+void Simulator::boundary_checks() {
   if (invariant_checker_ && now_ % cfg_.check.audit_interval == 0) {
     audit_invariants();
   }
@@ -222,11 +263,51 @@ void Simulator::step() {
       now_ % cfg_.obs.sample_interval == 0) {
     sample_timeseries();
   }
-
   if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
     warmup_done_at_ = now_;
     warmup_instructions_ = total_instructions();
   }
+}
+
+Cycle Simulator::epoch_end() const {
+  const Cycle ratio = cfg_.sm.core_clock_ratio;
+  // Longest epoch: up to the next core tick strictly after now_, so each
+  // epoch contains at most one SM/crossbar/L2 front-end tick (which runs
+  // on the main thread at the epoch start).
+  Cycle end = (now_ / ratio + 1) * ratio;
+  end = std::min(end, cfg_.max_cycles);
+  // Boundary events fire at exact now_ values in the serial core; end the
+  // epoch there so boundary_checks() sees identical cycles.
+  if (invariant_checker_) {
+    end = std::min(end, (now_ / cfg_.check.audit_interval + 1) *
+                            cfg_.check.audit_interval);
+  }
+  if (obs_hub_ && obs_hub_->sampling()) {
+    end = std::min(end, (now_ / cfg_.obs.sample_interval + 1) *
+                            cfg_.obs.sample_interval);
+  }
+  // Serial warmup capture happens at the first step end >= warmup_cycles,
+  // i.e. at cycle max(now_ + 1, warmup_cycles) when still pending.
+  if (warmup_done_at_ == 0) {
+    end = std::min(end, std::max(now_ + 1, cfg_.warmup_cycles));
+  }
+  return end;
+}
+
+void Simulator::advance_epoch(Cycle end) {
+  LATDIV_DCHECK(engine_ != nullptr, "advance_epoch without a shard engine");
+  LATDIV_DCHECK(end > now_ && end - now_ <= cfg_.sm.core_clock_ratio,
+                "epoch must advance and fit one core-clock period");
+  const bool core_tick = now_ % cfg_.sm.core_clock_ratio == 0;
+  if (core_tick) {
+    // Front end on the main thread: SMs then crossbar, exactly as in the
+    // serial step.  Partition core ticks move to the shard workers.
+    for (auto& sm : sms_) sm->tick(now_);
+    xbar_.tick(now_);
+  }
+  engine_->advance(now_, end, core_tick);
+  now_ = end;
+  boundary_checks();
 }
 
 void Simulator::sample_timeseries() {
@@ -277,7 +358,11 @@ std::uint64_t Simulator::total_instructions() const {
 
 RunResult Simulator::run() {
   while (now_ < cfg_.max_cycles) {
-    step();
+    if (engine_) {
+      advance_epoch(epoch_end());
+    } else {
+      step();
+    }
     if (cfg_.idle_fast_forward) fast_forward();
   }
   for (auto& checker : protocol_checkers_) checker->finalize(now_);

@@ -19,6 +19,7 @@
 #include "gpu/sm.hpp"
 #include "gpu/tracker.hpp"
 #include "icnt/crossbar.hpp"
+#include "par/engine.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "workload/generator.hpp"
@@ -57,8 +58,33 @@ class Simulator {
   [[nodiscard]] obs::ObsHub* obs() { return obs_hub_.get(); }
   [[nodiscard]] const obs::ObsHub* obs() const { return obs_hub_.get(); }
 
+  /// Active logical shard count: cfg.shards clamped to the partition
+  /// count, or 1 when the serial core is in use (cfg.shards == 1, or a
+  /// configuration that shares scheduler state across channels — see
+  /// SimConfig::shards).
+  [[nodiscard]] std::uint32_t shards() const {
+    return engine_ ? engine_->shards() : 1;
+  }
+  /// Worker threads backing the sharded core (0 = serial or main-thread
+  /// execution; purely an execution-policy detail).
+  [[nodiscard]] unsigned shard_worker_threads() const {
+    return engine_ ? engine_->worker_threads() : 0;
+  }
+
  private:
   void audit_invariants();
+  /// Post-cycle work shared by the serial step and the sharded epoch:
+  /// invariant audits, time-series samples, warmup capture.  Both paths
+  /// only cross the trigger cycles at an epoch/step boundary, so the
+  /// modulo checks fire at identical now_ values.
+  void boundary_checks();
+  /// Sharded core: largest legal epoch end after now_ — the next core
+  /// tick, clamped to run end and to every exact-cycle boundary event.
+  [[nodiscard]] Cycle epoch_end() const;
+  /// Sharded core: run one epoch [now_, end) — front end (SMs, crossbar)
+  /// on the main thread, partitions on the shard workers, then the
+  /// deterministic merge — and advance now_ to `end`.
+  void advance_epoch(Cycle end);
   /// Idle fast-forward (run() only): when every component reports its
   /// next event strictly after now_, jump now_ there directly, crediting
   /// the skipped cycles' idle accounting in bulk.  Clamped so warmup
@@ -90,6 +116,8 @@ class Simulator {
   std::vector<std::unique_ptr<ProtocolChecker>> protocol_checkers_;
   std::unique_ptr<InvariantChecker> invariant_checker_;
   std::unique_ptr<obs::ObsHub> obs_hub_;
+  /// Parallel channel-sharded core; null = serial per-cycle loop.
+  std::unique_ptr<par::ShardEngine> engine_;
 
   Cycle now_ = 0;
   std::uint64_t warmup_instructions_ = 0;

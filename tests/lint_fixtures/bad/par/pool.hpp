@@ -1,0 +1,21 @@
+// Path-based shard-boundary enforcement: this file lives under a par/
+// directory, so *every* class in it is on the shard boundary — the rule
+// fires on unannotated escape-hatch fields regardless of the class name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+class EpochRunner {
+ public:
+  using StageFn = std::function<void(std::uint32_t)>;
+
+ private:
+  StageFn on_stage_;  // expect: shard-boundary
+  std::uint64_t* merge_count_ = nullptr;  // expect: shard-boundary
+  std::uint64_t epochs_ = 0;  // value field: shard-private, fine
+};
+
+}  // namespace fixture

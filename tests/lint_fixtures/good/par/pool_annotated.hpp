@@ -1,0 +1,27 @@
+// Path-based shard-boundary enforcement, satisfied every accepted way:
+// LATDIV_SHARD_LOCAL / LATDIV_GUARDED_BY annotations, a const-qualified
+// reference (immutable shared state needs no classification), and a
+// justified comment suppression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture_good {
+
+struct Timing {};
+
+class EpochRunner {
+ public:
+  using StageFn = std::function<void(std::uint32_t)>;
+
+ private:
+  StageFn on_stage_ LATDIV_SHARD_LOCAL;
+  std::uint64_t* merge_count_ LATDIV_GUARDED_BY(mu_) = nullptr;
+  const Timing& timing_;  // const ref: immutable shared state, fine
+  // Shared by design: each worker dereferences only its own slot.
+  std::uint64_t** slots_ = nullptr;  // lint: shard-boundary-ok
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace fixture_good

@@ -106,8 +106,8 @@ TEST(LintFixtures, GoodCorpusIsCleanAndUsesEverySuppression) {
   // One suppressed case per rule family plus the trace-reader fixture's
   // measurement/aggregation directives, all consumed (an unused directive
   // would have been reported as a finding above).
-  EXPECT_EQ(r.suppressions_used, 11u);
-  EXPECT_EQ(r.files_analyzed, 5u);
+  EXPECT_EQ(r.suppressions_used, 12u);
+  EXPECT_EQ(r.files_analyzed, 6u);
 }
 
 TEST(LintSelfCheck, ProductionTreeIsClean) {

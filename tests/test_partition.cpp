@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "gpu/tracker.hpp"
 #include "mc/policy_fcfs.hpp"
 #include "mc/policy.hpp"
 

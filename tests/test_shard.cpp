@@ -1,0 +1,261 @@
+// Parallel channel-sharded core (src/par) determinism contract: every
+// artifact a run produces — RunResult metrics, the request-lifecycle
+// trace, the sampled time-series — must be byte-identical at any shard
+// count, with fast-forward on or off, whatever the worker-thread count.
+// DESIGN.md "Parallel core & determinism contract" states the guarantee;
+// this suite is its enforcement.
+//
+// Layers, strongest first:
+//   * per-cycle differential: step() a sharded and a serial simulator in
+//     lockstep over randomized workloads and compare a hash of the full
+//     externally visible machine state after every cycle — divergence is
+//     caught at the first cycle it appears, not at end of run;
+//   * end-to-end byte identity: metrics_from + obs artifacts across
+//     shards x fast-forward, including the coordination-heavy WG-W
+//     scheduler whose cross-channel messages exercise the epoch merge;
+//   * fallback behaviour: configurations that share scheduler state
+//     across channels (ZLD) must silently run serial and still match.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/executor.hpp"
+#include "sim/simulator.hpp"
+
+namespace latdiv {
+namespace {
+
+SimConfig small_cfg(SchedulerKind sched, const char* workload,
+                    std::uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.shrink_for_tests();
+  cfg.scheduler = sched;
+  cfg.workload = profile_by_name(workload);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// FNV-1a over every externally visible counter the simulator exposes:
+/// instruction counts, tracker occupancy, crossbar queues, per-channel
+/// queue depths and DRAM command counters.  Any cross-shard ordering bug
+/// perturbs at least one of these.
+std::uint64_t state_hash(Simulator& sim) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(sim.now());
+  mix(sim.tracker().inflight());
+  for (std::size_t s = 0; s < sim.config().num_sms; ++s) {
+    mix(sim.sm(s).stats().instructions);
+    mix(sim.sm(s).warps_blocked_on_loads());
+  }
+  for (std::size_t p = 0; p < sim.config().icnt.partitions; ++p) {
+    const MemoryController& mc = sim.partition(p).mc();
+    mix(mc.read_queue().size());
+    mix(mc.write_queue().size());
+    mix(mc.commands_pending());
+    mix(mc.inflight_reads());
+    mix(mc.in_write_drain() ? 1 : 0);
+    const ChannelStats& cs = mc.channel().stats();
+    mix(cs.reads);
+    mix(cs.writes);
+    mix(cs.activates);
+    mix(cs.precharges);
+    mix(sim.partition(p).fills_pending());
+    mix(sim.partition(p).stats().read_hits);
+    mix(sim.partition(p).stats().read_misses);
+  }
+  return h;
+}
+
+/// Compare two finished runs on every reported metric plus the raw
+/// counters the metric flattening rounds through doubles.
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(exp::metrics_from(a), exp::metrics_from(b));
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.dram_cycles, b.dram_cycles);
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+  EXPECT_EQ(a.dram_writes, b.dram_writes);
+  EXPECT_EQ(a.dram_activates, b.dram_activates);
+  EXPECT_EQ(a.coord_messages, b.coord_messages);
+  EXPECT_EQ(a.sm_no_ready_warp_cycles, b.sm_no_ready_warp_cycles);
+  EXPECT_EQ(a.wg_groups_selected, b.wg_groups_selected);
+  EXPECT_EQ(a.wg_merb_deferrals, b.wg_merb_deferrals);
+  ASSERT_EQ(a.bank_breakdown.size(), b.bank_breakdown.size());
+  for (std::size_t c = 0; c < a.bank_breakdown.size(); ++c) {
+    for (std::size_t bk = 0; bk < a.bank_breakdown[c].size(); ++bk) {
+      EXPECT_EQ(a.bank_breakdown[c][bk].activates,
+                b.bank_breakdown[c][bk].activates)
+          << "channel " << c << " bank " << bk;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle differential: the strongest form of the contract.
+
+class ShardDifferential
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, std::uint64_t>> {
+};
+
+TEST_P(ShardDifferential, PerCycleStateHashMatchesSerial) {
+  const auto [sched, seed] = GetParam();
+  SimConfig cfg = small_cfg(sched, "bfs", seed);
+  cfg.max_cycles = 4'000;  // differential stepping is per-cycle; keep short
+  cfg.warmup_cycles = 400;
+
+  SimConfig serial = cfg;
+  serial.shards = 1;
+  SimConfig sharded = cfg;
+  sharded.shards = 6;
+
+  Simulator a(serial);
+  Simulator b(sharded);
+  ASSERT_EQ(a.shards(), 1u);
+  ASSERT_EQ(b.shards(), 6u);
+  while (a.now() < serial.max_cycles) {
+    a.step();
+    b.step();
+    ASSERT_EQ(state_hash(a), state_hash(b))
+        << "state diverged at cycle " << a.now();
+  }
+  expect_same_result(a.run(), b.run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, ShardDifferential,
+    ::testing::Combine(::testing::Values(SchedulerKind::kGmc,
+                                         SchedulerKind::kWgM,
+                                         SchedulerKind::kWgW),
+                       ::testing::Values(1ull, 7ull, 42ull)),
+    [](const auto& info) {
+      std::string n = to_string(std::get<0>(info.param));
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// End-to-end byte identity across shard counts x fast-forward.
+
+class ShardByteIdentity
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>> {};
+
+TEST_P(ShardByteIdentity, RunResultMatchesSerial) {
+  const auto [shards, ff] = GetParam();
+  SimConfig cfg = small_cfg(SchedulerKind::kWgW, "spmv");
+  cfg.idle_fast_forward = ff;
+
+  SimConfig serial = cfg;
+  serial.shards = 1;
+  const RunResult base = Simulator(serial).run();
+
+  SimConfig sh = cfg;
+  sh.shards = shards;
+  Simulator sim(sh);
+  EXPECT_EQ(sim.shards(), std::min(shards, cfg.icnt.partitions));
+  expect_same_result(base, sim.run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsXFastForward, ShardByteIdentity,
+    ::testing::Combine(::testing::Values(2u, 3u, 6u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "shards" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_ff" : "_noff");
+    });
+
+TEST(ShardByteIdentityObs, TraceTimeseriesAndMetricsBytesMatch) {
+  SimConfig cfg = small_cfg(SchedulerKind::kWgM, "bfs");
+  cfg.obs.trace = true;
+  cfg.obs.timeseries = true;
+  cfg.obs.sample_interval = 250;
+
+  std::string trace1, series1, metrics1;
+  {
+    SimConfig serial = cfg;
+    serial.shards = 1;
+    Simulator sim(serial);
+    (void)sim.run();
+    trace1 = sim.obs()->trace_json();
+    series1 = sim.obs()->timeseries_csv();
+    metrics1 = sim.obs()->metrics_json();
+  }
+  for (std::uint32_t shards : {2u, 6u}) {
+    SimConfig sh = cfg;
+    sh.shards = shards;
+    Simulator sim(sh);
+    (void)sim.run();
+    EXPECT_EQ(trace1, sim.obs()->trace_json()) << "shards=" << shards;
+    EXPECT_EQ(series1, sim.obs()->timeseries_csv()) << "shards=" << shards;
+    EXPECT_EQ(metrics1, sim.obs()->metrics_json()) << "shards=" << shards;
+  }
+}
+
+// Oversubscription clamps to the partition count instead of failing.
+TEST(ShardConfig, ShardCountClampsToPartitions) {
+  SimConfig cfg = small_cfg(SchedulerKind::kGmc, "bfs");
+  cfg.shards = 64;
+  Simulator sim(cfg);
+  EXPECT_EQ(sim.shards(), cfg.icnt.partitions);
+  SimConfig serial = cfg;
+  serial.shards = 1;
+  expect_same_result(Simulator(serial).run(), sim.run());
+}
+
+// ---------------------------------------------------------------------------
+// Serial fallbacks: shared-state configurations must not shard, and must
+// still produce the canonical result.
+
+TEST(ShardFallback, ZldSharesACoordinatorSoRunsSerial) {
+  SimConfig cfg = small_cfg(SchedulerKind::kZld, "bfs");
+  cfg.shards = 6;
+  Simulator sim(cfg);
+  EXPECT_EQ(sim.shards(), 1u);
+  SimConfig serial = cfg;
+  serial.shards = 1;
+  expect_same_result(Simulator(serial).run(), sim.run());
+}
+
+TEST(ShardFallback, ShortCoordinationLatencyRunsSerial) {
+  SimConfig cfg = small_cfg(SchedulerKind::kWgM, "bfs");
+  cfg.shards = 6;
+  cfg.coordination_latency = 1;  // < core_clock_ratio: epoch precondition fails
+  Simulator sim(cfg);
+  EXPECT_EQ(sim.shards(), 1u);
+  SimConfig serial = cfg;
+  serial.shards = 1;
+  expect_same_result(Simulator(serial).run(), sim.run());
+}
+
+// ---------------------------------------------------------------------------
+// Arena: queue churn must reach a steady state, not grow slabs forever.
+
+TEST(ShardArenaUse, SlabCountReachesSteadyState) {
+  SimConfig cfg = small_cfg(SchedulerKind::kGmc, "spmv");
+  cfg.shards = 6;
+  cfg.max_cycles = 16'000;
+  Simulator sim(cfg);
+  while (sim.now() < 8'000) sim.step();
+  std::vector<std::size_t> at_half;
+  for (std::size_t p = 0; p < cfg.icnt.partitions; ++p) {
+    at_half.push_back(sim.partition(p).arena_slabs());
+    EXPECT_GE(at_half.back(), 1u) << "arena unused by partition " << p;
+  }
+  while (sim.now() < cfg.max_cycles) sim.step();
+  for (std::size_t p = 0; p < cfg.icnt.partitions; ++p) {
+    EXPECT_EQ(sim.partition(p).arena_slabs(), at_half[p])
+        << "slabs still growing in steady state (free lists not recycling)";
+  }
+}
+
+}  // namespace
+}  // namespace latdiv
