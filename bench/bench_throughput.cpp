@@ -17,9 +17,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "ckpt/sampler.hpp"
 #include "scenario/scenario.hpp"
 #include "workload/trace.hpp"
 
@@ -154,6 +157,121 @@ int shard_scaling_section(const Options& opts) {
   std::printf("\nidentical IPC at every shard count is the gate; Mc/s "
               "scaling tracks the host's usable cores (EXPERIMENTS.md "
               "records reference numbers).\n");
+  return 0;
+}
+
+/// Appends one JSON object literal to a comma-joined row list.
+void json_row(std::string& rows, const std::string& obj) {
+  if (!rows.empty()) rows += ",";
+  rows += obj;
+}
+
+/// Interval sampling (src/ckpt/sampler.*): detailed vs SMARTS-sampled
+/// runs of >= 1M cycles per irregular workload under the full WG-W
+/// design.  Two hard gates, both machine-independent: the schedule must
+/// cut detailed cycles by >= 5x, and the geomean relative IPC error of
+/// the sampled estimate must stay within 2%.  Wall-clock speedups
+/// (sequential and jobs=4 snapshot fan-out) are reported for trend
+/// tracking only.  Any gate failure aborts the bench.
+int sampling_section(const Options& opts, std::string& json) {
+  const Cycle cycles = std::max<Cycle>(opts.cycles, 1'000'000);
+  const ckpt::SamplingConfig sched;  // default 8k detail / 4k warm / 120k
+  std::printf("\ninterval sampling — detailed vs sampled, %llu cycles, "
+              "WG-W (detail %llu / warm %llu / period %llu)\n",
+              static_cast<unsigned long long>(cycles),
+              static_cast<unsigned long long>(sched.detail_cycles),
+              static_cast<unsigned long long>(sched.warm_cycles),
+              static_cast<unsigned long long>(sched.period_cycles));
+  print_row("workload", {"det ipc", "smp ipc", "err", "cyc x", "wall x",
+                         "fan4 x"});
+
+  std::vector<double> errs;
+  std::vector<double> wall_speedups;
+  double min_cycle_reduction = 0.0;
+  std::string rows;
+  for (const WorkloadProfile& w : irregular_suite()) {
+    SimConfig cfg;
+    cfg.workload = w;
+    cfg.scheduler = SchedulerKind::kWgW;
+    cfg.max_cycles = cycles;
+    cfg.warmup_cycles = 0;  // the estimator has no warmup-exclusion notion
+    cfg.seed = opts.seed;
+
+    const auto t0 = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+    const RunResult detailed = Simulator(cfg).run();
+    const auto t1 = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+    const ckpt::SampledResult sampled = ckpt::run_sampled(cfg, sched, 1);
+    const auto t2 = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+    const ckpt::SampledResult fanned = ckpt::run_sampled(cfg, sched, 4);
+    const auto t3 = std::chrono::steady_clock::now();  // lint: wall-clock-ok
+
+    const double wall_det = std::chrono::duration<double>(t1 - t0).count();
+    const double wall_smp = std::chrono::duration<double>(t2 - t1).count();
+    const double wall_fan = std::chrono::duration<double>(t3 - t2).count();
+    const double err = detailed.ipc > 0.0
+                           ? std::fabs(sampled.ipc - detailed.ipc) /
+                                 detailed.ipc
+                           : 0.0;
+    const double cycle_reduction =
+        sampled.detailed_cycles > 0
+            ? static_cast<double>(cycles) /
+                  static_cast<double>(sampled.detailed_cycles)
+            : 0.0;
+    const double wall_speedup = safe_ratio(wall_det, wall_smp);
+    errs.push_back(std::max(err, 1e-9));  // geomean needs positive terms
+    wall_speedups.push_back(wall_speedup);
+    min_cycle_reduction = min_cycle_reduction == 0.0
+                              ? cycle_reduction
+                              : std::min(min_cycle_reduction,
+                                         cycle_reduction);
+    print_row(w.name,
+              {fixed(detailed.ipc, 4), fixed(sampled.ipc, 4),
+               fixed(err * 100.0, 2) + "%", fixed(cycle_reduction, 1),
+               fixed(wall_speedup, 2), fixed(safe_ratio(wall_det, wall_fan), 2)});
+
+    std::ostringstream row;
+    row << "{\"workload\":\"" << w.name << "\",\"detailed_ipc\":"
+        << detailed.ipc << ",\"sampled_ipc\":" << sampled.ipc
+        << ",\"fanout_ipc\":" << fanned.ipc << ",\"ipc_rel_err\":" << err
+        << ",\"cycle_reduction\":" << cycle_reduction
+        << ",\"wall_speedup\":" << wall_speedup
+        << ",\"fanout_wall_speedup\":" << safe_ratio(wall_det, wall_fan)
+        << "}";
+    json_row(rows, row.str());
+  }
+  const double err_geomean = geomean(errs);
+  const double wall_geomean = geomean(wall_speedups);
+  print_row("geomean", {"-", "-", fixed(err_geomean * 100.0, 2) + "%",
+                        fixed(min_cycle_reduction, 1) + " min",
+                        fixed(wall_geomean, 2), "-"});
+
+  std::ostringstream sec;
+  sec << "{\"cycles\":" << cycles << ",\"schedule\":{\"detail\":"
+      << sched.detail_cycles << ",\"warm\":" << sched.warm_cycles
+      << ",\"period\":" << sched.period_cycles << "},\"rows\":[" << rows
+      << "],\"geomean_ipc_rel_err\":" << err_geomean
+      << ",\"geomean_wall_speedup\":" << wall_geomean
+      << ",\"min_cycle_reduction\":" << min_cycle_reduction << "}";
+  json = sec.str();
+
+  if (min_cycle_reduction < 5.0) {
+    std::fprintf(stderr,
+                 "bench_throughput: sampling cut detailed cycles only "
+                 "%.1fx (gate: >= 5x)\n",
+                 min_cycle_reduction);
+    return 1;
+  }
+  if (err_geomean > 0.02) {
+    std::fprintf(stderr,
+                 "bench_throughput: sampled IPC geomean error %.2f%% "
+                 "exceeds the 2%% gate\n",
+                 err_geomean * 100.0);
+    return 1;
+  }
+  std::printf("\nboth gates hold: >= 5x fewer detailed cycles, sampled "
+              "IPC within 2%% geomean of the straight-through run "
+              "(tests/test_ckpt_sampling.cpp pins the per-scenario "
+              "bounds).\n");
   return 0;
 }
 
@@ -299,6 +417,7 @@ int main(int argc, char** argv) {
 
   print_row("workload", {"sched", "Mc/s off", "Mc/s on", "speedup"});
   std::vector<double> speedups;
+  std::string ff_rows;
   for (const WorkloadProfile& w : irregular_suite()) {
     for (const SchedulerKind sched :
          {SchedulerKind::kGmc, SchedulerKind::kWgW}) {
@@ -315,9 +434,15 @@ int main(int argc, char** argv) {
       }
       const double speedup = safe_ratio(on.mcycles_per_s, off.mcycles_per_s);
       speedups.push_back(speedup);
-      print_row(w.name, {sched == SchedulerKind::kGmc ? "GMC" : "WG-W",
-                         fixed(off.mcycles_per_s, 2),
+      const char* sname = sched == SchedulerKind::kGmc ? "GMC" : "WG-W";
+      print_row(w.name, {sname, fixed(off.mcycles_per_s, 2),
                          fixed(on.mcycles_per_s, 2), fixed(speedup, 2)});
+      std::ostringstream row;
+      row << "{\"workload\":\"" << w.name << "\",\"scheduler\":\"" << sname
+          << "\",\"mcycles_per_s_off\":" << off.mcycles_per_s
+          << ",\"mcycles_per_s_on\":" << on.mcycles_per_s
+          << ",\"speedup\":" << speedup << "}";
+      json_row(ff_rows, row.str());
     }
   }
   print_row("geomean", {"-", "-", "-", fixed(geomean(speedups), 2)});
@@ -326,7 +451,34 @@ int main(int argc, char** argv) {
               "baseline rate.\n");
   const int shard_rc = shard_scaling_section(opts);
   if (shard_rc != 0) return shard_rc;
+  std::string sampling_json;
+  const int sampling_rc = sampling_section(opts, sampling_json);
+  if (sampling_rc != 0) return sampling_rc;
   const int obs_rc = obs_overhead_section(opts);
   if (obs_rc != 0) return obs_rc;
-  return trace_streaming_section();
+  const int stream_rc = trace_streaming_section();
+  if (stream_rc != 0) return stream_rc;
+
+  // Machine-readable artifact (uploaded by the release-throughput CI
+  // job).  Wall-clock fields are for trend inspection, never gates; the
+  // sampling section's gate results are recorded so downstream tooling
+  // can assert on them without re-parsing the console output.
+  const std::string out_path =
+      opts.out_json.empty() ? "BENCH_throughput.json" : opts.out_json;
+  std::ostringstream doc;
+  doc << "{\"bench\":\"throughput\",\"cycles\":" << opts.cycles
+      << ",\"fast_forward\":{\"rows\":[" << ff_rows
+      << "],\"geomean_speedup\":" << geomean(speedups)
+      << "},\"sampling\":" << sampling_json
+      << ",\"gates\":{\"sampling_cycle_reduction_min\":5.0,"
+      << "\"sampling_ipc_err_max\":0.02,\"passed\":true}}\n";
+  std::ofstream out(out_path, std::ios::binary);
+  out << doc.str();
+  if (!out) {
+    std::fprintf(stderr, "bench_throughput: cannot write '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
 }

@@ -70,6 +70,11 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
 
+  /// Snapshot serialization of tags/LRU/stats (src/ckpt); geometry comes
+  /// from construction.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct Line {
     Addr tag = 0;

@@ -77,6 +77,10 @@ class MshrFile {
   }
   [[nodiscard]] const MshrStats& stats() const { return stats_; }
 
+  /// Snapshot serialization of outstanding entries + stats (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   MshrConfig cfg_;
   // Ordered map by determinism policy (latdiv-lint unordered-iter): no

@@ -65,6 +65,10 @@ class InvariantChecker {
   [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
   [[nodiscard]] bool clean() const { return violations_.empty(); }
 
+  /// Snapshot serialization (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   void expect_eq(std::uint64_t lhs, std::uint64_t rhs, Cycle now,
                  const char* invariant, const char* equation);

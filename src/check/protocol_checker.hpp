@@ -66,6 +66,12 @@ class ProtocolChecker {
   /// Formatted dump of the retained command history (newest last).
   [[nodiscard]] std::string history_string() const;
 
+  /// Snapshot serialization of the shadow state machine (src/ckpt), so a
+  /// resumed checked run validates the same constraints a straight-through
+  /// run would.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct ShadowBank {
     RowId row = kNoRow;

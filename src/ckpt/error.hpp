@@ -1,0 +1,18 @@
+// Snapshot I/O error type (mirrors workload/trace.hpp's TraceError).
+//
+// Every malformed, truncated, version-mismatched or otherwise unusable
+// snapshot raises a CkptError with a pinned, human-readable message —
+// never silent UB, never a partial load.  Sweep points resuming from a
+// bad snapshot fail in isolation (the executor catches std::exception);
+// CLI tools print the message and exit nonzero.
+#pragma once
+
+#include <stdexcept>
+
+namespace latdiv::ckpt {
+
+class CkptError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace latdiv::ckpt

@@ -85,6 +85,14 @@ class Rng {
     return n;
   }
 
+  /// Snapshot serialization of the raw stream state (src/ckpt).  Defined
+  /// inline: instruction sources in other translation units serialize
+  /// their per-warp streams through this.
+  template <class Ar>
+  void ckpt_io(Ar& ar) {
+    for (auto& word : state_) ar.u64(word);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

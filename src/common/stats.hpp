@@ -37,6 +37,15 @@ class Accumulator {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Snapshot serialization (src/ckpt); doubles travel as bit patterns,
+  /// so a resumed run reports the exact same means.
+  template <class Ar>
+  void ckpt_io(Ar& ar) {
+    ar.f64(sum_);
+    ar.f64(max_);
+    ar.u64(count_);
+  }
+
  private:
   double sum_ = 0.0;
   double max_ = 0.0;

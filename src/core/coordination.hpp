@@ -66,6 +66,10 @@ class CoordinationNetwork {
     return in_flight_.empty() ? kNoCycle : in_flight_.front().due;
   }
 
+  /// Snapshot serialization of in-flight messages (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   std::vector<MemoryController*> controllers_;
   Cycle latency_;

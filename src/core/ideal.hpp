@@ -35,6 +35,11 @@ class ZldCoordinator {
     return started_.contains(instr);
   }
 
+  /// Snapshot serialization (src/ckpt): shared across controllers, so the
+  /// Simulator serializes the coordinator exactly once, not per policy.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   std::unordered_set<WarpInstrUid> started_;
 };

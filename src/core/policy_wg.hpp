@@ -196,7 +196,18 @@ class WgPolicy final : public TransactionScheduler {
     return current_;
   }
 
+  /// Snapshot serialization (src/ckpt): the warp sorter, the incremental
+  /// read-queue index, caches and stats all round-trip; merb_ is a pure
+  /// function of the DRAM timing and is rebuilt at construction.
+  void ckpt_save(ckpt::CkptWriter& ar) const override;
+  void ckpt_load(ckpt::CkptReader& ar) override;
+
  private:
+  /// Shared save/load body behind ckpt_save/ckpt_load (src/ckpt owns the
+  /// definition; member access keeps the private index reachable).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
   /// Sum of request scores pending in `bank`'s command queue (cached per
   /// bank, invalidated by the controller's bank epoch).
   [[nodiscard]] std::uint32_t bank_queue_score(const MemoryController& mc,

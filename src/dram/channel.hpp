@@ -104,6 +104,26 @@ class Channel {
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const DramTiming& timing() const noexcept { return timing_; }
 
+  /// Functional row warming during a sampled-mode skip interval
+  /// (ckpt::SampledRunner): open `row` in `bank` without issuing commands
+  /// or consuming bus time.  Sampled mode runs with the protocol checker
+  /// off; this is never called on a detailed-timing path.
+  void warm_row(BankId bank, RowId row) { bank_row_[bank] = row; }
+
+  /// Re-anchor the refresh cadence after a sampled-mode jump to `now`:
+  /// keeps tREFI-multiple spacing while skipping the due times inside the
+  /// interval (whose bank time the skip did not model anyway).
+  void rebase_refresh(Cycle now) {
+    if (!timing_.refresh_enabled || next_refresh_at_ >= now) return;
+    const Cycle behind = now - next_refresh_at_;
+    next_refresh_at_ += (behind / timing_.trefi + 1) * timing_.trefi;
+  }
+
+  /// Snapshot serialization of bank/bus/refresh timing state (src/ckpt);
+  /// observers are re-attached at construction.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   [[nodiscard]] bool act_legal(BankId bank, Cycle now) const;
   [[nodiscard]] bool cas_legal(const DramCommand& cmd, Cycle now) const;

@@ -109,6 +109,32 @@ void apply_shards(Manifest& manifest, std::uint32_t shards) {
   }
 }
 
+/// Attaches per-point snapshot save/restore paths (--snapshot /
+/// --resume): `<dir>/<point-id>.snap`, same naming scheme as the obs
+/// artifacts.  Analytic points have no simulator state and are skipped.
+void attach_snapshots(Manifest& manifest, const SweepRunArgs& args) {
+  if (args.snapshot_dir.empty() && args.resume_dir.empty()) return;
+  for (ExpPoint& p : manifest.grid.points_mut()) {
+    if (p.analytic) continue;
+    const std::string fname = sanitize_id(p.id) + ".snap";
+    if (!args.snapshot_dir.empty()) {
+      p.save_snapshot_path = args.snapshot_dir + "/" + fname;
+    }
+    if (!args.resume_dir.empty()) {
+      p.load_snapshot_path = args.resume_dir + "/" + fname;
+    }
+  }
+}
+
+/// Switches every simulated point to the sampled runner (--sampling).
+void apply_sampling(Manifest& manifest, const ckpt::SamplingConfig& sc) {
+  for (ExpPoint& p : manifest.grid.points_mut()) {
+    if (p.analytic) continue;
+    p.runner = ExpPoint::Runner::kSampled;
+    p.sampling = sc;
+  }
+}
+
 }  // namespace
 
 int run_manifest(const std::string& name, const SweepRunArgs& args) {
@@ -131,7 +157,23 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
     std::fprintf(stderr, "latdiv-sweep: --sample-interval must be > 0\n");
     return 2;
   }
-  for (const std::string& dir : {args.trace_dir, args.timeseries_dir}) {
+  if (args.sampled &&
+      (!args.trace_dir.empty() || !args.timeseries_dir.empty())) {
+    std::fprintf(stderr,
+                 "latdiv-sweep: --sampling cannot be combined with "
+                 "--trace/--timeseries (sampled runs require the obs hub "
+                 "disabled)\n");
+    return 2;
+  }
+  if (args.sampled && !args.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "latdiv-sweep: --sampling cannot be combined with "
+                 "--snapshot (a sampled run does not simulate the final "
+                 "state in detail)\n");
+    return 2;
+  }
+  for (const std::string& dir :
+       {args.trace_dir, args.timeseries_dir, args.snapshot_dir}) {
     if (dir.empty()) continue;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -142,6 +184,8 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
     }
   }
   attach_obs_outputs(manifest, args);
+  attach_snapshots(manifest, args);
+  if (args.sampled) apply_sampling(manifest, args.sampling);
   if (!args.fast_forward) disable_fast_forward(manifest);
   if (args.shards != 1) apply_shards(manifest, args.shards);
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ckpt/sampler.hpp"
 #include "exp/golden.hpp"
 #include "exp/manifest.hpp"
 
@@ -44,6 +45,21 @@ struct SweepRunArgs {
   /// contractually identical at any value (SimConfig::shards); CI sweeps
   /// several counts and compares.  0 is rejected at the CLI.
   std::uint32_t shards = 1;
+  /// When non-empty, every simulated point snapshots its final state to
+  /// `<dir>/<point-id>.snap` (--snapshot; '/' in ids becomes '_').
+  std::string snapshot_dir;
+  /// When non-empty, every simulated point restores
+  /// `<dir>/<point-id>.snap` before running (--resume).  Points whose
+  /// snapshot is missing fail with a CkptError like any other point
+  /// error; fingerprints guard against configuration drift.
+  std::string resume_dir;
+  /// Run every simulated point under the SMARTS sampling schedule in
+  /// `sampling` instead of full detail (--sampling[=D,W,P]).  Mutually
+  /// exclusive with --trace/--timeseries (sampling requires the obs hub
+  /// off) and with --snapshot (a sampled run teleports past the state a
+  /// final snapshot would have to contain).
+  bool sampled = false;
+  ckpt::SamplingConfig sampling;
 };
 
 /// Run the named manifest and print its figure table.  Returns the

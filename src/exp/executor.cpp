@@ -4,10 +4,39 @@
 #include <chrono>
 #include <thread>
 
+#include "ckpt/sampler.hpp"
+#include "ckpt/snapshot.hpp"
 #include "common/annotations.hpp"
 #include "sim/simulator.hpp"
 
 namespace latdiv::exp {
+
+namespace {
+
+/// Estimate metrics of a sampled point.  Deliberately a small, prefixed
+/// set: sampled runs produce *estimates* of the headline rates, not the
+/// full detailed metric census, and artifacts must make the difference
+/// impossible to miss.
+MetricMap metrics_from_sampled(const ckpt::SampledResult& s) {
+  MetricMap m;
+  m["ipc"] = s.ipc;
+  m["instructions"] = s.instructions;
+  m["row_hit_rate"] = s.row_hit_rate;
+  m["bandwidth_utilization"] = s.bandwidth_utilization;
+  m["sampled.windows"] = static_cast<double>(s.windows.size());
+  m["sampled.detailed_cycles"] = static_cast<double>(s.detailed_cycles);
+  m["sampled.warm_instructions"] =
+      static_cast<double>(s.warm_instructions);
+  const Cycle total = s.end - s.start;
+  m["sampled.speedup"] =
+      s.detailed_cycles > 0
+          ? static_cast<double>(total) /
+                static_cast<double>(s.detailed_cycles)
+          : 1.0;
+  return m;
+}
+
+}  // namespace
 
 MetricMap metrics_from(const RunResult& r) {
   MetricMap m;
@@ -83,7 +112,30 @@ PointResult execute_point(const ExpPoint& p) {
       cfg.seed = p.seed;
       if (p.hook) p.hook(cfg);
       Simulator sim(cfg);
-      const RunResult r = sim.run();
+      if (!p.load_snapshot_path.empty()) {
+        ckpt::load_snapshot_file(sim, p.load_snapshot_path);
+      }
+      if (p.runner == ExpPoint::Runner::kSampled) {
+        ckpt::SampledRunner runner(sim, p.sampling);
+        const ckpt::SampledResult s = runner.run();
+        res.scheduler = to_string(cfg.scheduler);
+        res.metrics = metrics_from_sampled(s);
+        res.ok = true;
+        res.wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() -  // lint: wall-clock-ok
+                start)
+                .count();
+        return res;
+      }
+      // Detailed runner; the optional snapshot is taken after the last
+      // simulated cycle so a later point (or a resumed sweep) can pick
+      // up exactly where this one stopped.
+      sim.run_to(cfg.max_cycles);
+      if (!p.save_snapshot_path.empty()) {
+        ckpt::save_snapshot_file(sim, p.save_snapshot_path);
+      }
+      const RunResult r = sim.finish();
       res.scheduler = r.scheduler;
       res.metrics = metrics_from(r);
       // Observability percentiles ride along only when the point opted

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/sampler.hpp"
 #include "sim/config.hpp"
 #include "workload/profile.hpp"
 
@@ -37,6 +38,13 @@ using ConfigHook = std::function<void(SimConfig&)>;
 using AnalyticFn = std::function<MetricMap()>;
 
 struct ExpPoint {
+  /// How a simulated point is executed.  kDetailed is the default full
+  /// simulation; kSampled runs the SMARTS-style interval schedule in
+  /// `sampling` (src/ckpt/sampler.hpp) and reports estimate metrics
+  /// under the `sampled.` prefix alongside ipc / row_hit_rate /
+  /// bandwidth_utilization.
+  enum class Runner : std::uint8_t { kDetailed, kSampled };
+
   std::string id;   ///< unique within a grid; stable across runs
   std::string row;  ///< figure row (usually the workload)
   std::string col;  ///< figure column (scheduler or ablation variant)
@@ -48,6 +56,15 @@ struct ExpPoint {
   Cycle warmup = 5'000;
   ConfigHook hook;      ///< optional SimConfig override
   AnalyticFn analytic;  ///< when set, evaluated instead of a Simulator
+
+  Runner runner = Runner::kDetailed;
+  ckpt::SamplingConfig sampling;  ///< schedule when runner == kSampled
+  /// Restore this snapshot before running ("" = start fresh).  The file
+  /// must have been taken under a fingerprint-identical configuration.
+  std::string load_snapshot_path;
+  /// Snapshot the final state after the last simulated cycle, before
+  /// metric aggregation ("" = no snapshot).  Detailed runner only.
+  std::string save_snapshot_path;
 };
 
 /// Run-length knobs shared by every point a grid builder expands.

@@ -54,6 +54,10 @@ class Coalescer {
 
   [[nodiscard]] const CoalescerStats& stats() const { return stats_; }
 
+  /// Snapshot serialization of the counters (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   std::uint32_t line_bytes_;
   bool perfect_;

@@ -94,6 +94,11 @@ class Partition {
   [[nodiscard]] const PartitionStats& stats() const { return stats_; }
   [[nodiscard]] ChannelId id() const { return id_; }
 
+  /// Snapshot serialization of L2/MSHR/pipeline/controller state
+  /// (src/ckpt); the arena keeps backing the refilled queues.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct Delayed {
     Cycle ready_at;

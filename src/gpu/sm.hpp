@@ -100,6 +100,18 @@ class Sm {
     return n;
   }
 
+  /// Functional L1 warming during a sampled-mode skip interval
+  /// (ckpt::SampledRunner): install recency/presence for `line` without
+  /// issuing any request.  Counts in cache stats like a normal access —
+  /// sampled-mode estimates never read hit rates across a skip.
+  void warm_line(Addr line) {
+    if (!l1_.touch(line)) l1_.fill(line);
+  }
+
+  /// Snapshot serialization of the full core state (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct Warp {
     Cycle ready_at = 0;

@@ -67,6 +67,11 @@ class InstrTracker : public TrackerSink {
   [[nodiscard]] const TrackerSummary& summary() const { return summary_; }
   [[nodiscard]] std::size_t inflight() const { return records_.size(); }
 
+  /// Snapshot serialization of in-flight records + aggregates (src/ckpt);
+  /// the hub pointer is re-attached at construction.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct Record {
     Cycle issued = kNoCycle;

@@ -91,6 +91,10 @@ class Crossbar {
     return n;
   }
 
+  /// Snapshot serialization of every queue + arbiter pointer (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   template <typename T>
   struct Timed {

@@ -201,6 +201,12 @@ class MemoryController {
   [[nodiscard]] TransactionScheduler& policy() { return *policy_; }
   [[nodiscard]] const TransactionScheduler& policy() const { return *policy_; }
 
+  /// Snapshot serialization of queues, drain state, DRAM timing state and
+  /// the policy's private state (src/ckpt); the callback/sink/arena wiring
+  /// comes from construction.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   struct Inflight {
     Cycle done;

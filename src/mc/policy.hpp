@@ -15,6 +15,11 @@
 
 namespace latdiv {
 
+namespace ckpt {
+class CkptWriter;
+class CkptReader;
+}  // namespace ckpt
+
 class MemoryController;
 struct WgStats;
 
@@ -79,6 +84,13 @@ class TransactionScheduler {
   /// cycles only while this holds; a custom policy with internal
   /// time-driven state must return false.
   [[nodiscard]] virtual bool quiescent() const { return true; }
+
+  /// Snapshot hooks (src/ckpt).  Policies with cross-cycle private state
+  /// override both sides (WgPolicy); stateless schedulers — everything
+  /// that decides purely from the controller's queues and bank state —
+  /// inherit the no-ops and round-trip through a snapshot for free.
+  virtual void ckpt_save(ckpt::CkptWriter&) const {}
+  virtual void ckpt_load(ckpt::CkptReader&) {}
 };
 
 }  // namespace latdiv

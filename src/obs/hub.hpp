@@ -112,6 +112,13 @@ class ObsHub : public McEventSink {
   [[nodiscard]] std::uint64_t trace_events() const;
   [[nodiscard]] const ObsConfig& config() const noexcept { return cfg_; }
 
+  /// Snapshot serialization (src/ckpt): registry, trace buffer, series CSV
+  /// and episode state all round-trip so an obs-enabled resume produces
+  /// byte-identical artifacts; the sink override and hot-path handles are
+  /// re-established at construction.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   void name_warp_track(SmId sm, WarpId warp);
   void name_bank_track(ChannelId ch, std::uint32_t tid);

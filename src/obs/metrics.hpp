@@ -29,6 +29,10 @@ class Counter {
   void add(std::uint64_t n = 1) noexcept { value_ += n; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
 
+  /// Snapshot serialization (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -38,6 +42,10 @@ class Gauge {
  public:
   void set(std::uint64_t v) noexcept { value_ = v; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  /// Snapshot serialization (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
 
  private:
   std::uint64_t value_ = 0;
@@ -121,6 +129,10 @@ class Log2Histogram {
     return counts_[bucket];
   }
 
+  /// Snapshot serialization (src/ckpt).
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   std::uint64_t counts_[kBuckets] = {};
   std::uint64_t total_ = 0;
@@ -161,6 +173,12 @@ class MetricRegistry {
     std::string name;
     std::unique_ptr<T> instrument;
   };
+
+  /// Snapshot serialization (src/ckpt): saved in creation order; loading
+  /// find-or-creates by name, so instrument pointers cached by hot paths
+  /// before the load stay valid and export order is reproduced.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
 
  private:
   // Creation order is export order; lookup is linear (registries hold a

@@ -52,6 +52,11 @@ class ChromeTraceSink final : public TraceSink {
 
   [[nodiscard]] std::uint64_t events() const { return events_; }
 
+  /// Snapshot serialization (src/ckpt): the rendered buffer travels
+  /// verbatim so a resumed trace stays byte-identical.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
+
  private:
   void begin_event(char ph, const char* name, const char* cat,
                    std::uint32_t pid, std::uint32_t tid, Cycle ts);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "ckpt/archive.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -66,6 +67,16 @@ class KernelBase : public InstrSource {
     return memory_instr(w, g);
   }
 
+  // Snapshot hooks (src/ckpt): the per-warp state below is the only
+  // mutable state any kernel has (PowerLawRows' Zipf table is a pure
+  // function of the params, rebuilt at construction), so one
+  // implementation covers all six kernels.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void ckpt_save(ckpt::CkptWriter& ar) const override {
+    const_cast<KernelBase*>(this)->warps_io(ar);  // writer never mutates
+  }
+  void ckpt_load(ckpt::CkptReader& ar) override { warps_io(ar); }
+
  protected:
   struct Warp {
     Rng rng;
@@ -79,6 +90,25 @@ class KernelBase : public InstrSource {
   };
 
   [[nodiscard]] virtual WarpInstr memory_instr(Warp& w, std::uint64_t g) = 0;
+
+  template <class Ar>
+  void warps_io(Ar& ar) {
+    std::uint64_t n = warps_.size();
+    ar.u64(n);
+    if (n != warps_.size()) {
+      throw ckpt::CkptError(
+          "snapshot kernel warp count does not match the configured GPU");
+    }
+    for (Warp& w : warps_) {
+      w.rng.ckpt_io(ar);
+      ar.u64(w.iter);
+      ar.u64(w.cursor);
+      ar.u32(w.credit);
+      ar.u32(w.op);
+      for (auto& lane : w.lane_state) ar.u64(lane);
+      ar.b(w.init);
+    }
+  }
 
   /// Byte address of `line` (wrapped into the footprint) with a per-lane
   /// 4B subword offset, matching the generator's address shape.

@@ -134,10 +134,17 @@ Simulator::Simulator(const SimConfig& cfg)
   // custom_policy factories) fall back to the serial core, as does a
   // coordination latency shorter than an epoch (the barrier correctness
   // precondition — see par/engine.hpp).
+  // pick_worker_threads == 0 means every shard would run on the main
+  // thread anyway (shards == 1, a single-core host, or LATDIV_SHARD_THREADS
+  // pinned to 1): the epoch machinery would only add effect-buffer and
+  // merge overhead for zero parallelism, so take the serial core instead.
+  // Results are identical either way (tests/test_shard.cpp asserts it).
   const bool sharded =
       cfg_.shards > 1 && cfg_.icnt.partitions > 1 &&
       cfg_.scheduler != SchedulerKind::kZld && !cfg_.custom_policy &&
-      cfg_.coordination_latency >= cfg_.sm.core_clock_ratio;
+      cfg_.coordination_latency >= cfg_.sm.core_clock_ratio &&
+      par::pick_worker_threads(std::min(cfg_.shards, cfg_.icnt.partitions)) >
+          0;
   if (sharded) {
     engine_ =
         std::make_unique<par::ShardEngine>(cfg_.icnt.partitions, cfg_.shards);
@@ -275,7 +282,7 @@ Cycle Simulator::epoch_end() const {
   // epoch contains at most one SM/crossbar/L2 front-end tick (which runs
   // on the main thread at the epoch start).
   Cycle end = (now_ / ratio + 1) * ratio;
-  end = std::min(end, cfg_.max_cycles);
+  end = std::min(end, run_limit_);
   // Boundary events fire at exact now_ values in the serial core; end the
   // epoch there so boundary_checks() sees identical cycles.
   if (invariant_checker_) {
@@ -357,7 +364,18 @@ std::uint64_t Simulator::total_instructions() const {
 }
 
 RunResult Simulator::run() {
-  while (now_ < cfg_.max_cycles) {
+  run_to(cfg_.max_cycles);
+  return finish();
+}
+
+void Simulator::run_to(Cycle stop) {
+  // Clamping epoch ends and fast-forward jumps to run_limit_ is the whole
+  // pause mechanism: the cycles on either side of the boundary execute
+  // exactly as they would mid-run (a shortened epoch contains the same
+  // single front-end tick; a shortened skip crosses only dead cycles), so
+  // stopping here and continuing later is byte-identical to not stopping.
+  run_limit_ = std::min(stop, cfg_.max_cycles);
+  while (now_ < run_limit_) {
     if (engine_) {
       advance_epoch(epoch_end());
     } else {
@@ -365,10 +383,29 @@ RunResult Simulator::run() {
     }
     if (cfg_.idle_fast_forward) fast_forward();
   }
+}
+
+RunResult Simulator::finish() {
   for (auto& checker : protocol_checkers_) checker->finalize(now_);
   if (invariant_checker_) audit_invariants();
   if (obs_hub_) obs_hub_->finalize(now_);
   return collect();
+}
+
+void Simulator::teleport(Cycle target) {
+  LATDIV_ASSERT(target >= now_ && target <= cfg_.max_cycles,
+                "teleport target outside [now, max_cycles]");
+  LATDIV_ASSERT(protocol_checkers_.empty() && !invariant_checker_ &&
+                    !obs_hub_,
+                "teleport requires checkers and the obs hub disabled");
+  now_ = target;
+  for (auto& part : partitions_) {
+    part->mc().channel_mut().rebase_refresh(now_);
+  }
+  if (warmup_done_at_ == 0 && now_ >= cfg_.warmup_cycles) {
+    warmup_done_at_ = now_;
+    warmup_instructions_ = total_instructions();
+  }
 }
 
 void Simulator::fast_forward() {
@@ -403,9 +440,10 @@ void Simulator::fast_forward() {
   }
   if (target <= now_) return;
 
-  // Never skip past the end of the run, the warmup-capture cycle, or the
-  // next scheduled invariant audit — those fire at exact now_ values.
-  Cycle limit = std::min(target, cfg_.max_cycles);
+  // Never skip past the end of this run_to() call, the warmup-capture
+  // cycle, or the next scheduled invariant audit — those fire at exact
+  // now_ values.
+  Cycle limit = std::min(target, run_limit_);
   if (warmup_done_at_ == 0) limit = std::min(limit, cfg_.warmup_cycles);
   if (invariant_checker_) {
     limit = std::min(

@@ -31,8 +31,31 @@ class Simulator {
  public:
   explicit Simulator(const SimConfig& cfg);
 
-  /// Run to cfg.max_cycles and aggregate results.
+  /// Run to cfg.max_cycles and aggregate results.  Equivalent to
+  /// run_to(cfg.max_cycles) followed by finish() — pausing at any
+  /// intermediate cycle and continuing is byte-identical to running
+  /// straight through (tests/test_ckpt.cpp enforces this).
   RunResult run();
+
+  /// Advance until now() == min(stop, cfg.max_cycles), using the same
+  /// epoch/fast-forward machinery as run().  May be called repeatedly
+  /// with increasing stops; does not finalize anything.
+  void run_to(Cycle stop);
+
+  /// End-of-run finalization (checker sweeps, obs artifact writes) and
+  /// result aggregation.  Call once, after the last run_to().
+  RunResult finish();
+
+  /// Jump the clock to `target` without simulating the span (sampled-mode
+  /// functional warming, src/ckpt/sampler.cpp).  The skipped interval's
+  /// timing is deliberately not modelled: per-channel refresh cadences
+  /// are re-anchored past `target`.  Only legal with checkers and the
+  /// obs hub disabled — those observe per-cycle state the jump skips.
+  void teleport(Cycle target);
+
+  /// The instruction stream the SMs consume (sampled-mode warming draws
+  /// from it; snapshot save/load serializes its cursors).
+  [[nodiscard]] InstrSource& instr_source() { return *source_; }
 
   // Component access for tests and custom drivers.
   [[nodiscard]] Partition& partition(std::size_t i) { return *partitions_[i]; }
@@ -70,6 +93,13 @@ class Simulator {
   [[nodiscard]] unsigned shard_worker_threads() const {
     return engine_ ? engine_->worker_threads() : 0;
   }
+
+  /// Snapshot serialization of the full simulator state (src/ckpt owns
+  /// the framing; this walks every component in a fixed order).  Public
+  /// so ckpt::save_snapshot / load_snapshot stay free functions; not a
+  /// stable API for anything else.
+  template <class Ar>
+  void ckpt_io(Ar& ar);
 
  private:
   void audit_invariants();
@@ -120,6 +150,10 @@ class Simulator {
   std::unique_ptr<par::ShardEngine> engine_;
 
   Cycle now_ = 0;
+  /// Stop cycle of the current run_to() call (== cfg.max_cycles inside
+  /// run()).  Epoch ends and idle fast-forward clamp to it so pausing at
+  /// an arbitrary cycle is indistinguishable from never stopping.
+  Cycle run_limit_ = 0;
   std::uint64_t warmup_instructions_ = 0;
   Cycle warmup_done_at_ = 0;
 

@@ -28,6 +28,12 @@ class WorkloadGenerator : public InstrSource {
 
   [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
 
+  /// Snapshot hooks (src/ckpt): per-warp RNG streams + per-SM stream
+  /// cursors fully determine the remaining instruction sequence.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void ckpt_save(ckpt::CkptWriter& ar) const override;
+  void ckpt_load(ckpt::CkptReader& ar) override;
+
  private:
   struct WarpState {
     Rng rng;

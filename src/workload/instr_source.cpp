@@ -1,0 +1,23 @@
+// Default snapshot hooks for instruction sources.
+//
+// A source that does not opt in (checkpointable() == false) cannot be
+// part of a snapshot: saving through it must fail loudly rather than
+// silently produce a snapshot that replays a different instruction
+// stream.  The messages are pinned by tests/test_ckpt.cpp.
+#include "workload/instr_source.hpp"
+
+#include "ckpt/error.hpp"
+
+namespace latdiv {
+
+void InstrSource::ckpt_save(ckpt::CkptWriter& /*ar*/) const {
+  throw ckpt::CkptError(
+      "instruction source does not support checkpointing (save)");
+}
+
+void InstrSource::ckpt_load(ckpt::CkptReader& /*ar*/) {
+  throw ckpt::CkptError(
+      "instruction source does not support checkpointing (load)");
+}
+
+}  // namespace latdiv

@@ -11,6 +11,11 @@
 
 namespace latdiv {
 
+namespace ckpt {
+class CkptWriter;
+class CkptReader;
+}  // namespace ckpt
+
 class InstrSource {
  public:
   virtual ~InstrSource() = default;
@@ -18,6 +23,15 @@ class InstrSource {
   /// Next instruction for (sm, warp).  Must never exhaust: sources with
   /// finite content wrap around or idle with compute instructions.
   [[nodiscard]] virtual WarpInstr next(SmId sm, WarpId warp) = 0;
+
+  /// Snapshot hooks (src/ckpt).  Deterministic sources (generator, kernel
+  /// scenarios, trace replay) serialize their cursors/RNG streams so a
+  /// resumed run draws the exact same instruction stream; the defaults
+  /// throw ckpt::CkptError, which is how non-checkpointable sources (a
+  /// RecordingSource mid-capture) surface the limitation to save paths.
+  [[nodiscard]] virtual bool checkpointable() const { return false; }
+  virtual void ckpt_save(ckpt::CkptWriter& ar) const;
+  virtual void ckpt_load(ckpt::CkptReader& ar);
 };
 
 }  // namespace latdiv

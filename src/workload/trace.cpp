@@ -3,6 +3,7 @@
 #include <cstring>
 #include <set>
 
+#include "ckpt/archive.hpp"
 #include "common/crc32.hpp"
 #include "common/endian.hpp"
 #include "common/log.hpp"
@@ -542,6 +543,27 @@ std::vector<std::uint64_t> TraceReplayer::cursor() const {
     for (const WarpCursor& c : cursors_) out.push_back(c.pos);
   }
   return out;
+}
+
+void TraceReplayer::ckpt_save(ckpt::CkptWriter& ar) const {
+  const std::vector<std::uint64_t> cur = cursor();
+  std::uint64_t n = cur.size();
+  ar.u64(n);
+  for (const std::uint64_t pos : cur) ar.u64(pos);
+}
+
+void TraceReplayer::ckpt_load(ckpt::CkptReader& ar) {
+  std::uint64_t n = 0;
+  ar.u64(n);
+  const std::size_t warp_count =
+      static_cast<std::size_t>(sms_) * warps_per_sm_;
+  if (n != warp_count) {
+    throw ckpt::CkptError(
+        "snapshot trace cursor does not match the trace geometry");
+  }
+  std::vector<std::uint64_t> cur(warp_count, 0);
+  for (std::uint64_t& pos : cur) ar.u64(pos);
+  restore(cur);
 }
 
 void TraceReplayer::restore(const std::vector<std::uint64_t>& cursor) {

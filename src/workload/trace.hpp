@@ -164,6 +164,12 @@ class TraceReplayer final : public InstrSource {
   [[nodiscard]] std::vector<std::uint64_t> cursor() const;
   void restore(const std::vector<std::uint64_t>& cursor);
 
+  /// Snapshot hooks (src/ckpt): the warp cursors fully determine replay
+  /// state, so save/load are thin wrappers around cursor()/restore().
+  [[nodiscard]] bool checkpointable() const override { return true; }
+  void ckpt_save(ckpt::CkptWriter& ar) const override;
+  void ckpt_load(ckpt::CkptReader& ar) override;
+
  private:
   /// In-memory stream (v1 always; v2 under ReplayMode::kInMemory).
   struct WarpStream {

@@ -1,0 +1,49 @@
+// Checkpoint-serialization idioms done wrong: what the snapshot layer
+// (src/ckpt/snapshot.cpp) must never do.  Wall-clock stamps in the
+// header, rand()-salted nonces, hash-ordered section emission and
+// pointer-keyed offset indexes all make snapshot *bytes* nondeterministic
+// across runs — breaking the committed-sha256 gate and the resume
+// byte-identity contract.  Each marker names the guarding rule.  Never
+// compiled, only linted.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct SectionBuf {
+  std::vector<unsigned char> payload;
+  double fill_ratio = 0.0;
+};
+
+long snapshot_header_stamp() {
+  // Stamping snapshot headers with save time breaks byte-identical
+  // re-snapshot of the same simulator state.
+  return time(nullptr);  // expect: wall-clock
+}
+
+unsigned snapshot_nonce() {
+  // A random nonce makes every save of identical state a new file.
+  return rand();  // expect: unseeded-rng
+}
+
+double emit_dirty_sections() {
+  std::unordered_map<unsigned, SectionBuf> dirty_sections;
+  double mean_fill = 0.0;
+  // Writing sections in hash order reorders the file every run; the
+  // section walk must follow the fixed CORE..OBSV order.
+  for (const auto& [tag, buf] : dirty_sections) {  // expect: unordered-iter
+    mean_fill += buf.fill_ratio;  // expect: float-accum
+  }
+  return mean_fill;
+}
+
+class SectionOffsetIndex {
+ private:
+  // Offsets keyed by buffer address serialize in allocation order.
+  std::map<SectionBuf*, unsigned long> offsets_;  // expect: pointer-key
+};
+
+}  // namespace fixture

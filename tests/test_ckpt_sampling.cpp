@@ -1,0 +1,269 @@
+// SMARTS-style interval sampling (src/ckpt/sampler.*): accuracy bounds
+// against straight-through detailed runs, strict determinism of the
+// sampled estimates, and the config refusals.
+//
+// The tolerances here are pinned, not aspirational: they document the
+// measured estimator quality on the shrunk test geometry, and a change
+// that degrades them is a regression even if nothing crashes.  The
+// full-size throughput/accuracy gate (>= 5x fewer detailed cycles, <= 2%
+// geomean IPC error on >= 1M-cycle runs) lives in bench_throughput.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/sampler.hpp"
+#include "ckpt/snapshot.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace latdiv {
+namespace {
+
+SimConfig sampling_cfg(const std::string& scenario, Cycle max_cycles) {
+  SimConfig cfg;
+  cfg.shrink_for_tests();
+  cfg.scheduler = SchedulerKind::kWgM;
+  cfg.workload.name = scenario;
+  cfg.instr_source = [scenario](std::uint32_t sms, std::uint32_t warps,
+                                std::uint64_t s) {
+    return scenario::make_scenario(scenario::scenario_by_name(scenario), sms,
+                                   warps, s);
+  };
+  cfg.max_cycles = max_cycles;
+  cfg.warmup_cycles = 0;
+  // shrink_for_tests() enables the checkers; sampled mode teleports past
+  // state they audit per-cycle, so it requires them (and the hub) off.
+  cfg.check = CheckConfig{};
+  cfg.obs = obs::ObsConfig{};
+  return cfg;
+}
+
+ckpt::SamplingConfig test_schedule() {
+  ckpt::SamplingConfig s;
+  s.detail_cycles = 4'000;
+  s.warm_cycles = 2'000;
+  s.period_cycles = 24'000;
+  return s;
+}
+
+/// |sampled - detailed| / detailed.
+double rel_err(double sampled, double detailed) {
+  return std::abs(sampled - detailed) / detailed;
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy: the sampled estimates track the detailed run within pinned
+// bounds while simulating a quarter of the cycles in detail.
+
+class SamplingAccuracy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SamplingAccuracy, IpcWithinPinnedBound) {
+  const SimConfig cfg = sampling_cfg(GetParam(), 240'000);
+  const RunResult detailed = Simulator(cfg).run();
+  ASSERT_GT(detailed.ipc, 0.0);
+
+  Simulator sim(cfg);
+  ckpt::SampledRunner runner(sim, test_schedule());
+  const ckpt::SampledResult sampled = runner.run();
+
+  // 10 periods of 24k cycles, 6k detailed each: a 4x cycle reduction.
+  EXPECT_EQ(sampled.windows.size(), 10u);
+  EXPECT_EQ(sampled.detailed_cycles, 60'000u);
+  EXPECT_EQ(sim.now(), cfg.max_cycles);
+
+  // IPC is the headline estimate: relative bound.  The DRAM fractions
+  // live in [0, 1] and sit near zero on low-locality kernels, where a
+  // relative bound is meaningless — pin them absolutely instead.
+  EXPECT_LE(rel_err(sampled.ipc, detailed.ipc), 0.03)
+      << "ipc: sampled " << sampled.ipc << " vs detailed " << detailed.ipc;
+  EXPECT_LE(std::abs(sampled.row_hit_rate - detailed.row_hit_rate), 0.02)
+      << "row_hit_rate: sampled " << sampled.row_hit_rate << " vs detailed "
+      << detailed.row_hit_rate;
+  EXPECT_LE(
+      std::abs(sampled.bandwidth_utilization - detailed.bandwidth_utilization),
+      0.02)
+      << "bandwidth: sampled " << sampled.bandwidth_utilization
+      << " vs detailed " << detailed.bandwidth_utilization;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SamplingAccuracy,
+                         ::testing::Values("powerlaw-rows", "pointer-chase",
+                                           "threshold-compact"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Functional warming is what keeps the estimates honest across skips:
+// with it disabled, source cursors freeze during each skip and the
+// measured windows see a stream that lags simulated time.
+TEST(SamplingWarming, WarmingDrawsInstructionsAndStaysDeterministic) {
+  const SimConfig cfg = sampling_cfg("powerlaw-rows", 240'000);
+  ckpt::SamplingConfig sched = test_schedule();
+
+  Simulator warm_sim(cfg);
+  ckpt::SampledRunner warm_runner(warm_sim, sched);
+  const ckpt::SampledResult with_warm = warm_runner.run();
+  EXPECT_GT(with_warm.warm_instructions, 0u);
+
+  sched.functional_warming = false;
+  Simulator cold_sim(cfg);
+  ckpt::SampledRunner cold_runner(cold_sim, sched);
+  const ckpt::SampledResult no_warm = cold_runner.run();
+  EXPECT_EQ(no_warm.warm_instructions, 0u);
+  EXPECT_GT(no_warm.ipc, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the sampled path inherits the simulator's contract — same
+// config, same estimates, bit for bit, every time.
+
+TEST(SamplingDeterminism, RepeatRunsBitIdentical) {
+  const SimConfig cfg = sampling_cfg("pointer-chase", 240'000);
+  ckpt::SampledResult a, b;
+  {
+    Simulator sim(cfg);
+    ckpt::SampledRunner runner(sim, test_schedule());
+    a = runner.run();
+  }
+  {
+    Simulator sim(cfg);
+    ckpt::SampledRunner runner(sim, test_schedule());
+    b = runner.run();
+  }
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].instructions, b.windows[i].instructions);
+    EXPECT_EQ(a.windows[i].dram_reads, b.windows[i].dram_reads);
+    EXPECT_EQ(a.windows[i].dram_activates, b.windows[i].dram_activates);
+  }
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.warm_instructions, b.warm_instructions);
+}
+
+// Sampling composes with snapshots: restore the same snapshot twice and
+// sample the remainder — identical estimates (the exp fan-out relies on
+// this to distribute windows across workers).
+TEST(SamplingDeterminism, SampledResumeFromSnapshotBitIdentical) {
+  const SimConfig cfg = sampling_cfg("powerlaw-rows", 240'000);
+  std::vector<unsigned char> snap;
+  {
+    Simulator sim(cfg);
+    sim.run_to(24'000);
+    snap = ckpt::save_snapshot(sim);
+  }
+  ckpt::SampledResult a, b;
+  for (ckpt::SampledResult* out : {&a, &b}) {
+    Simulator sim(cfg);
+    ckpt::load_snapshot(sim, snap.data(), snap.size());
+    ckpt::SampledRunner runner(sim, test_schedule());
+    *out = runner.run();
+  }
+  EXPECT_EQ(a.start, 24'000u);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.warm_instructions, b.warm_instructions);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].instructions, b.windows[i].instructions);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out: run_sampled with jobs > 1 snapshots once after the priming
+// window and measures the remaining windows on a worker pool.  The whole
+// point of freezing the rate estimator is that the answer must not depend
+// on how many workers the host happens to have.
+
+TEST(SamplingFanOut, ResultIndependentOfJobCount) {
+  const SimConfig cfg = sampling_cfg("powerlaw-rows", 240'000);
+  const ckpt::SamplingConfig sched = test_schedule();
+  const ckpt::SampledResult two = ckpt::run_sampled(cfg, sched, 2);
+  const ckpt::SampledResult six = ckpt::run_sampled(cfg, sched, 6);
+
+  ASSERT_EQ(two.windows.size(), six.windows.size());
+  for (std::size_t i = 0; i < two.windows.size(); ++i) {
+    EXPECT_EQ(two.windows[i].start, six.windows[i].start);
+    EXPECT_EQ(two.windows[i].instructions, six.windows[i].instructions);
+    EXPECT_EQ(two.windows[i].dram_reads, six.windows[i].dram_reads);
+    EXPECT_EQ(two.windows[i].dram_activates, six.windows[i].dram_activates);
+  }
+  EXPECT_EQ(two.ipc, six.ipc);
+  EXPECT_EQ(two.instructions, six.instructions);
+  EXPECT_EQ(two.warm_instructions, six.warm_instructions);
+}
+
+// The fan-out estimate differs from the sequential schedule only through
+// the frozen rate estimator, so it must stay close to both the sequential
+// sampled estimate and the detailed truth.
+TEST(SamplingFanOut, TracksSequentialAndDetailed) {
+  const SimConfig cfg = sampling_cfg("powerlaw-rows", 240'000);
+  const ckpt::SamplingConfig sched = test_schedule();
+  const RunResult detailed = Simulator(cfg).run();
+  const ckpt::SampledResult seq = ckpt::run_sampled(cfg, sched, 1);
+  const ckpt::SampledResult fan = ckpt::run_sampled(cfg, sched, 4);
+
+  EXPECT_EQ(fan.windows.size(), seq.windows.size());
+  EXPECT_EQ(fan.end, seq.end);
+  EXPECT_LE(rel_err(fan.ipc, detailed.ipc), 0.03)
+      << "fan-out ipc " << fan.ipc << " vs detailed " << detailed.ipc;
+  EXPECT_LE(rel_err(fan.ipc, seq.ipc), 0.03)
+      << "fan-out ipc " << fan.ipc << " vs sequential " << seq.ipc;
+}
+
+// jobs == 1 goes through the plain sequential runner; pin that the free
+// function and a hand-driven SampledRunner agree exactly.
+TEST(SamplingFanOut, SequentialPathMatchesRunner) {
+  const SimConfig cfg = sampling_cfg("pointer-chase", 240'000);
+  const ckpt::SamplingConfig sched = test_schedule();
+  const ckpt::SampledResult free_fn = ckpt::run_sampled(cfg, sched, 1);
+  Simulator sim(cfg);
+  ckpt::SampledRunner runner(sim, sched);
+  const ckpt::SampledResult direct = runner.run();
+  EXPECT_EQ(free_fn.ipc, direct.ipc);
+  EXPECT_EQ(free_fn.instructions, direct.instructions);
+  EXPECT_EQ(free_fn.detailed_cycles, direct.detailed_cycles);
+  ASSERT_EQ(free_fn.windows.size(), direct.windows.size());
+}
+
+// ---------------------------------------------------------------------------
+// Refusals: invalid schedules and observing configurations fail fast.
+
+TEST(SamplingErrors, RejectsBadSchedules) {
+  const SimConfig cfg = sampling_cfg("pointer-chase", 100'000);
+  Simulator sim(cfg);
+  ckpt::SamplingConfig sched = test_schedule();
+  sched.detail_cycles = 0;
+  EXPECT_THROW(ckpt::SampledRunner(sim, sched), std::invalid_argument);
+  sched = test_schedule();
+  sched.period_cycles = sched.warm_cycles + sched.detail_cycles - 1;
+  EXPECT_THROW(ckpt::SampledRunner(sim, sched), std::invalid_argument);
+}
+
+TEST(SamplingErrors, RejectsCheckersAndObs) {
+  SimConfig cfg = sampling_cfg("pointer-chase", 100'000);
+  cfg.check.protocol = true;
+  {
+    Simulator sim(cfg);
+    EXPECT_THROW(ckpt::SampledRunner(sim, test_schedule()),
+                 std::invalid_argument);
+  }
+  cfg.check.protocol = false;
+  cfg.obs.timeseries = true;
+  cfg.obs.sample_interval = 500;
+  {
+    Simulator sim(cfg);
+    EXPECT_THROW(ckpt::SampledRunner(sim, test_schedule()),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace latdiv

@@ -103,11 +103,12 @@ TEST(LintFixtures, GoodCorpusIsCleanAndUsesEverySuppression) {
     ADD_FAILURE() << "unexpected finding: " << f.file << ":" << f.line << ": "
                   << f.rule << ": " << f.message;
   }
-  // One suppressed case per rule family plus the trace-reader fixture's
-  // measurement/aggregation directives, all consumed (an unused directive
-  // would have been reported as a finding above).
-  EXPECT_EQ(r.suppressions_used, 12u);
-  EXPECT_EQ(r.files_analyzed, 6u);
+  // One suppressed case per rule family plus the trace-reader and
+  // ckpt-reader fixtures' measurement/aggregation directives, all
+  // consumed (an unused directive would have been reported as a finding
+  // above).
+  EXPECT_EQ(r.suppressions_used, 15u);
+  EXPECT_EQ(r.files_analyzed, 7u);
 }
 
 TEST(LintSelfCheck, ProductionTreeIsClean) {

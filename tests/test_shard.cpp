@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@
 
 namespace latdiv {
 namespace {
+
+// The suite asserts exact shard counts (sim.shards() == 6), but the
+// constructor falls back to the serial core when pick_worker_threads()
+// sees a single-hardware-thread host.  Pin the thread budget pre-main so
+// the assertions hold on any machine; a caller's explicit setting wins.
+const int kPinShardThreads = [] {
+  ::setenv("LATDIV_SHARD_THREADS", "6", /*overwrite=*/0);
+  return 0;
+}();
 
 SimConfig small_cfg(SchedulerKind sched, const char* workload,
                     std::uint64_t seed = 1) {
@@ -223,6 +233,26 @@ TEST(ShardFallback, ZldSharesACoordinatorSoRunsSerial) {
   SimConfig serial = cfg;
   serial.shards = 1;
   expect_same_result(Simulator(serial).run(), sim.run());
+}
+
+// A one-thread budget (single-core host, or LATDIV_SHARD_THREADS=1) must
+// bypass the whole WorkerPool/epoch apparatus — shards() reports 1 even
+// though the config asked for 6 — and the bypass must be invisible in
+// the results.
+TEST(ShardFallback, OneThreadBudgetBypassesEpochMachinery) {
+  SimConfig cfg = small_cfg(SchedulerKind::kWgW, "spmv");
+  cfg.shards = 6;
+
+  ::setenv("LATDIV_SHARD_THREADS", "1", /*overwrite=*/1);
+  Simulator serial(cfg);
+  EXPECT_EQ(serial.shards(), 1u);
+  EXPECT_EQ(serial.shard_worker_threads(), 0u);
+
+  ::setenv("LATDIV_SHARD_THREADS", "6", /*overwrite=*/1);
+  Simulator sharded(cfg);
+  EXPECT_EQ(sharded.shards(), 6u);
+
+  expect_same_result(serial.run(), sharded.run());
 }
 
 TEST(ShardFallback, ShortCoordinationLatencyRunsSerial) {

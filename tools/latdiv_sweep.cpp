@@ -61,6 +61,15 @@ void usage(std::FILE* out) {
                "  --sample-interval N\n"
                "                    time-series sampling epoch in DRAM "
                "cycles (default 500)\n"
+               "  --snapshot DIR    write each point's final state to "
+               "DIR/<id>.snap (latdiv-ckpt inspects)\n"
+               "  --resume DIR      restore each point from DIR/<id>.snap "
+               "before running\n"
+               "  --sampling[=D,W,P]\n"
+               "                    SMARTS interval sampling: D detailed / "
+               "W warm-up cycles every P-cycle\n"
+               "                    period (default 8000,4000,120000); "
+               "reports estimate metrics\n"
                "  --no-fast-forward\n"
                "                    disable idle-cycle fast-forward (results "
                "are byte-identical either way)\n"
@@ -95,6 +104,38 @@ std::uint32_t parse_shards(const char* origin, const char* text) {
     std::exit(2);
   }
   return static_cast<std::uint32_t>(v);
+}
+
+/// "D,W,P" -> SamplingConfig{detail, warm, period}; bare --sampling
+/// keeps the defaults.
+latdiv::ckpt::SamplingConfig parse_sampling(const char* text) {
+  latdiv::ckpt::SamplingConfig sc;
+  if (text == nullptr || *text == '\0') return sc;
+  char* end = nullptr;
+  sc.detail_cycles = std::strtoull(text, &end, 10);
+  if (end == text || *end != ',') {
+    std::fprintf(stderr, "latdiv-sweep: --sampling wants D,W,P, got '%s'\n",
+                 text);
+    std::exit(2);
+  }
+  const char* p = end + 1;
+  sc.warm_cycles = std::strtoull(p, &end, 10);
+  if (end == p || *end != ',') {
+    std::fprintf(stderr, "latdiv-sweep: --sampling wants D,W,P, got '%s'\n",
+                 text);
+    std::exit(2);
+  }
+  p = end + 1;
+  sc.period_cycles = std::strtoull(p, &end, 10);
+  if (end == p || *end != '\0' || sc.detail_cycles == 0 ||
+      sc.period_cycles < sc.warm_cycles + sc.detail_cycles) {
+    std::fprintf(stderr,
+                 "latdiv-sweep: --sampling needs D > 0 and P >= W + D, "
+                 "got '%s'\n",
+                 text);
+    std::exit(2);
+  }
+  return sc;
 }
 
 const char* next_arg(int argc, char** argv, int& i) {
@@ -226,6 +267,16 @@ int cmd_run(const std::string& manifest, int argc, char** argv) {
       args.timeseries_dir = next_arg(argc, argv, i);
     } else if (std::strcmp(flag, "--sample-interval") == 0) {
       args.sample_interval = parse_u64(flag, next_arg(argc, argv, i));
+    } else if (std::strcmp(flag, "--snapshot") == 0) {
+      args.snapshot_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(flag, "--resume") == 0) {
+      args.resume_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(flag, "--sampling") == 0) {
+      args.sampled = true;
+      args.sampling = parse_sampling(nullptr);
+    } else if (std::strncmp(flag, "--sampling=", 11) == 0) {
+      args.sampled = true;
+      args.sampling = parse_sampling(flag + 11);
     } else if (std::strcmp(flag, "--no-fast-forward") == 0) {
       args.fast_forward = false;
     } else if (std::strcmp(flag, "--quiet") == 0) {
