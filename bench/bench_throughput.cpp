@@ -40,6 +40,7 @@ enum class ObsMode {
   kOff,      ///< no hub at all — the shipping disabled path
   kMetrics,  ///< hub present, histograms only (no sink, no sampling)
   kTrace,    ///< full request-lifecycle tracing into the in-memory sink
+  kAttrib,   ///< latency-attribution profiler (no artifact written)
 };
 
 Measured measure(const WorkloadProfile& w, SchedulerKind sched,
@@ -52,6 +53,8 @@ Measured measure(const WorkloadProfile& w, SchedulerKind sched,
       cfg.obs.metrics_path = "/dev/null";  // enables the hub, nothing else
     } else if (obs == ObsMode::kTrace) {
       cfg.obs.trace = true;  // no trace_path: buffers in memory only
+    } else if (obs == ObsMode::kAttrib) {
+      cfg.obs.attrib = true;  // no attrib_path: aggregates in memory only
     }
   });
   const double wall_s =
@@ -72,9 +75,10 @@ Measured measure(const WorkloadProfile& w, SchedulerKind sched,
 /// tracking (EXPERIMENTS.md records reference numbers).
 int obs_overhead_section(const Options& opts) {
   std::printf("\nobservability overhead — obs off / repeat (noise floor) / "
-              "metrics-only / full tracing\n");
+              "metrics-only / attribution / full tracing\n");
   print_row("workload",
-            {"sched", "off Mc/s", "noise", "metrics x", "trace x"});
+            {"sched", "off Mc/s", "noise", "metrics x", "attrib x",
+             "trace x"});
   for (const WorkloadProfile& w : irregular_suite()) {
     for (const SchedulerKind sched :
          {SchedulerKind::kGmc, SchedulerKind::kWgW}) {
@@ -82,13 +86,15 @@ int obs_overhead_section(const Options& opts) {
       const Measured off1 = measure(w, sched, opts, true, ObsMode::kOff);
       const Measured off2 = measure(w, sched, opts, true, ObsMode::kOff);
       const Measured met = measure(w, sched, opts, true, ObsMode::kMetrics);
+      const Measured att = measure(w, sched, opts, true, ObsMode::kAttrib);
       const Measured trc = measure(w, sched, opts, true, ObsMode::kTrace);
       if (off1.ipc != off2.ipc || off1.ipc != met.ipc ||
-          off1.ipc != trc.ipc) {
+          off1.ipc != att.ipc || off1.ipc != trc.ipc) {
         std::fprintf(stderr,
                      "bench_throughput: observability perturbed %s/%s IPC "
-                     "(off %.6f, metrics %.6f, trace %.6f)\n",
-                     w.name.c_str(), sname, off1.ipc, met.ipc, trc.ipc);
+                     "(off %.6f, metrics %.6f, attrib %.6f, trace %.6f)\n",
+                     w.name.c_str(), sname, off1.ipc, met.ipc, att.ipc,
+                     trc.ipc);
         return 1;
       }
       // Noise floor: relative spread of two identical disabled runs.
@@ -101,6 +107,7 @@ int obs_overhead_section(const Options& opts) {
       print_row(w.name,
                 {sname, fixed(base, 2), fixed(noise * 100.0, 1) + "%",
                  fixed(safe_ratio(base, met.mcycles_per_s), 2),
+                 fixed(safe_ratio(base, att.mcycles_per_s), 2),
                  fixed(safe_ratio(base, trc.mcycles_per_s), 2)});
     }
   }

@@ -8,6 +8,7 @@
 #include "gpu/partition.hpp"
 #include "gpu/tracker.hpp"
 #include "mc/controller.hpp"
+#include "obs/attrib.hpp"
 
 namespace latdiv {
 
@@ -120,6 +121,28 @@ void InvariantChecker::audit_tracker(const InstrTracker& tracker,
   ++audits_run_;
   expect_eq(tracker.inflight(), blocked_warps, now, "tracker-liveness",
             "live tracker records == warps blocked on loads");
+}
+
+void InvariantChecker::audit_attribution(const obs::AttributionProfiler& prof,
+                                         Cycle now) {
+  ++audits_run_;
+  const obs::AttribSummary s = prof.summary();
+  // Sum exactness holds per load by construction; a mismatch means a
+  // load's components did not telescope to its end-to-end latency.
+  expect_eq(s.mismatches, 0, now, "attrib-sum-exact",
+            "loads with non-telescoping components == 0");
+  // Every finalized DRAM-touching load must join all its request records.
+  expect_eq(s.unmatched, 0, now, "attrib-join",
+            "warp loads without matching request records == 0");
+  expect_eq(s.dropped, 0, now, "attrib-ingest",
+            "read requests declined at attribution ingest == 0");
+  // Aggregate conservation: per-cause histogram mass == end-to-end mass.
+  std::uint64_t cause_sum = 0;
+  for (std::size_t i = 0; i < obs::kAttribCauseCount; ++i) {
+    cause_sum += s.cause_cycles[i];
+  }
+  expect_eq(cause_sum, s.total_cycles, now, "attrib-conservation",
+            "sum of per-cause cycles == total attributed cycles");
 }
 
 }  // namespace latdiv

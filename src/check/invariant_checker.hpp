@@ -32,6 +32,10 @@
 
 namespace latdiv {
 
+namespace obs {
+class AttributionProfiler;
+}
+
 class MemoryController;
 class Partition;
 class InstrTracker;
@@ -58,6 +62,11 @@ class InvariantChecker {
   /// (sum of Sm::warps_blocked_on_loads() over all SMs).
   void audit_tracker(const InstrTracker& tracker, std::size_t blocked_warps,
                      Cycle now);
+
+  /// Audit the attribution profiler's sum-exactness contract: no load was
+  /// ever excluded for a broken telescope or a failed request join, and
+  /// the per-cause histogram mass equals the end-to-end mass exactly.
+  void audit_attribution(const obs::AttributionProfiler& prof, Cycle now);
 
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;

@@ -797,6 +797,83 @@ void ChromeTraceSink::ckpt_io(Ar& ar) {
 }
 
 template <class Ar>
+void AttributionProfiler::ckpt_io(Ar& ar) {
+  // Registry instruments (hists/counters) ride in the hub's
+  // MetricRegistry section; this serializes only the join state.
+  io_seq(ar, drains_, [&ar](DrainWin& w) {
+    ar.u64(w.cum);
+    ar.u64(w.open);
+  });
+  const auto io_state = [&ar](ReqState& st) {
+    ar.u64(st.t0);
+    ar.u64(st.t1);
+    ar.u64(st.t2);
+    ar.u64(st.t3);
+    ar.u64(st.drain_at_t1);
+    ar.u64(st.drain_at_t2);
+    io_enum8(ar, st.outcome);
+  };
+  const auto io_acc = [&ar](Acc& a) {
+    ar.u32(a.n);
+    ar.b(a.poisoned);
+    ar.u64(a.sum_t0);
+    ar.u64(a.sum_xbar);
+    ar.u64(a.sum_queue);
+    ar.u64(a.sum_drain);
+    ar.u64(a.sum_bus);
+    for (auto& b : a.sum_bank) ar.u64(b);
+    ar.u64(a.sl_completed);
+    ar.u64(a.sl_t0);
+    ar.u64(a.sl_xbar);
+    ar.u64(a.sl_queue);
+    ar.u64(a.sl_drain);
+    ar.u64(a.sl_bank);
+    ar.u64(a.sl_bus);
+    io_enum8(ar, a.sl_outcome);
+  };
+  if constexpr (Ar::kIsWriter) {
+    std::uint64_t n = inflight_.size();
+    ar.u64(n);
+    for (auto& [key, st] : inflight_) {
+      std::uint64_t uid = key.first;
+      std::uint64_t addr = key.second;
+      ar.u64(uid);
+      ar.u64(addr);
+      io_state(st);
+    }
+    n = accs_.size();
+    ar.u64(n);
+    for (auto& [uid, acc] : accs_) {
+      std::uint64_t u = uid;
+      ar.u64(u);
+      io_acc(acc);
+    }
+  } else {
+    inflight_.clear();
+    std::uint64_t n = 0;
+    ar.u64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t uid = 0;
+      std::uint64_t addr = 0;
+      ar.u64(uid);
+      ar.u64(addr);
+      ReqState st;
+      io_state(st);
+      inflight_.emplace(std::make_pair(uid, addr), st);
+    }
+    accs_.clear();
+    ar.u64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t uid = 0;
+      ar.u64(uid);
+      Acc acc;
+      io_acc(acc);
+      accs_.emplace(uid, acc);
+    }
+  }
+}
+
+template <class Ar>
 void ObsHub::ckpt_io(Ar& ar) {
   chrome_.ckpt_io(ar);
   registry_.ckpt_io(ar);
@@ -828,6 +905,13 @@ void ObsHub::ckpt_io(Ar& ar) {
   io_seq(ar, drain_start_, [&ar](Cycle& at) { ar.u64(at); });
   ar.str(series_);
   ar.b(finalized_);
+  bool have_attrib = attrib_ != nullptr;
+  ar.b(have_attrib);
+  if (have_attrib != (attrib_ != nullptr)) {
+    throw ckpt::CkptError(
+        "snapshot attribution configuration does not match");
+  }
+  if (attrib_) attrib_->ckpt_io(ar);
 }
 
 }  // namespace latdiv::obs

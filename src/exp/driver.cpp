@@ -52,7 +52,10 @@ std::string sanitize_id(const std::string& id) {
 /// base hook (ablation knobs) runs first; obs settings are applied on
 /// top and never alter simulated behaviour.
 void attach_obs_outputs(Manifest& manifest, const SweepRunArgs& args) {
-  if (args.trace_dir.empty() && args.timeseries_dir.empty()) return;
+  if (args.trace_dir.empty() && args.timeseries_dir.empty() &&
+      args.attrib_dir.empty()) {
+    return;
+  }
   for (ExpPoint& p : manifest.grid.points_mut()) {
     if (p.analytic) continue;  // no simulator, nothing to trace
     const std::string fname = sanitize_id(p.id);
@@ -63,9 +66,14 @@ void attach_obs_outputs(Manifest& manifest, const SweepRunArgs& args) {
         args.timeseries_dir.empty()
             ? std::string{}
             : args.timeseries_dir + "/" + fname + ".timeseries.csv";
+    const std::string attrib_path =
+        args.attrib_dir.empty()
+            ? std::string{}
+            : args.attrib_dir + "/" + fname + ".attrib.json";
     const std::uint64_t interval = args.sample_interval;
     const ConfigHook base = p.hook;
-    p.hook = [base, trace_path, ts_path, interval](SimConfig& cfg) {
+    p.hook = [base, trace_path, ts_path, attrib_path,
+              interval](SimConfig& cfg) {
       if (base) base(cfg);
       if (!trace_path.empty()) {
         cfg.obs.trace = true;
@@ -74,6 +82,10 @@ void attach_obs_outputs(Manifest& manifest, const SweepRunArgs& args) {
       if (!ts_path.empty()) {
         cfg.obs.timeseries = true;
         cfg.obs.timeseries_path = ts_path;
+      }
+      if (!attrib_path.empty()) {
+        cfg.obs.attrib = true;
+        cfg.obs.attrib_path = attrib_path;
       }
       cfg.obs.sample_interval = interval;
     };
@@ -157,12 +169,13 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
     std::fprintf(stderr, "latdiv-sweep: --sample-interval must be > 0\n");
     return 2;
   }
-  if (args.sampled &&
-      (!args.trace_dir.empty() || !args.timeseries_dir.empty())) {
+  if (args.sampled && (!args.trace_dir.empty() ||
+                       !args.timeseries_dir.empty() ||
+                       !args.attrib_dir.empty())) {
     std::fprintf(stderr,
                  "latdiv-sweep: --sampling cannot be combined with "
-                 "--trace/--timeseries (sampled runs require the obs hub "
-                 "disabled)\n");
+                 "--trace/--timeseries/--attrib (sampled runs require the "
+                 "obs hub disabled)\n");
     return 2;
   }
   if (args.sampled && !args.snapshot_dir.empty()) {
@@ -172,8 +185,8 @@ int run_manifest(const std::string& name, const SweepRunArgs& args) {
                  "state in detail)\n");
     return 2;
   }
-  for (const std::string& dir :
-       {args.trace_dir, args.timeseries_dir, args.snapshot_dir}) {
+  for (const std::string& dir : {args.trace_dir, args.timeseries_dir,
+                                 args.attrib_dir, args.snapshot_dir}) {
     if (dir.empty()) continue;
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);

@@ -38,6 +38,10 @@ struct SweepRunArgs {
   /// When non-empty, every simulated point writes a time-series CSV
   /// (`<dir>/<point-id>.timeseries.csv`).
   std::string timeseries_dir;
+  /// When non-empty, every simulated point runs the latency-attribution
+  /// profiler and writes its artifact (`<dir>/<point-id>.attrib.json`);
+  /// the sweep artifact additionally carries attrib.* point metrics.
+  std::string attrib_dir;
   /// Sampling epoch (DRAM cycles) for --timeseries rows.
   std::uint64_t sample_interval = 500;
   /// Logical shard count for the parallel channel-sharded core in every

@@ -153,6 +153,33 @@ PointResult execute_point(const ExpPoint& p) {
         add_percentiles("obs.divergence_gap", "warp.divergence_gap");
         add_percentiles("obs.last_latency", "warp.last_latency");
         add_percentiles("obs.read_service", "req.read_service");
+        // Attribution point metrics, only for points that opted in —
+        // attrib-off artifacts keep their exact metric set.
+        if (r.attrib.enabled) {
+          const obs::AttribSummary& a = r.attrib;
+          res.metrics["attrib.loads"] = static_cast<double>(a.loads);
+          res.metrics["attrib.mismatches"] =
+              static_cast<double>(a.mismatches);
+          res.metrics["attrib.unmatched"] = static_cast<double>(a.unmatched);
+          res.metrics["attrib.total_cycles"] =
+              static_cast<double>(a.total_cycles);
+          for (std::size_t c = 0; c < obs::kAttribCauseCount; ++c) {
+            const std::string name =
+                obs::attrib_cause_name(static_cast<obs::AttribCause>(c));
+            res.metrics["attrib." + name + "_cycles"] =
+                static_cast<double>(a.cause_cycles[c]);
+            res.metrics["attrib." + name + "_p99"] =
+                static_cast<double>(a.cause_p99[c]);
+          }
+          for (std::size_t c = 0; c < obs::kAttribBlameCauses; ++c) {
+            const std::string name =
+                obs::attrib_cause_name(static_cast<obs::AttribCause>(c));
+            res.metrics["attrib.blame." + name] =
+                static_cast<double>(a.blame[c]);
+          }
+          res.metrics["attrib.blame.none"] =
+              static_cast<double>(a.blame_none);
+        }
       }
     }
     res.ok = true;

@@ -1,0 +1,245 @@
+#include "exp/trace_report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace latdiv::exp {
+
+namespace {
+
+/// printf into the report (all format strings below are literal).
+template <class... Args>
+void line(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof buf, fmt, args...);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof buf - 1));
+}
+
+/// Integer view of a numeric member (0 when absent / non-numeric —
+/// callers validate first where it matters).
+std::uint64_t num_u64(const JsonValue& ev, const char* key) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) return 0;
+  return static_cast<std::uint64_t>(v->as_number());
+}
+
+std::int64_t num_i64(const JsonValue& ev, const char* key) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) return 0;
+  return static_cast<std::int64_t>(v->as_number());
+}
+
+const std::string* str_member(const JsonValue& ev, const char* key) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->kind() != JsonValue::Kind::kString) return nullptr;
+  return &v->as_string();
+}
+
+struct LoadSlice {
+  std::uint64_t dur = 0;
+  std::uint64_t ts = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+  std::uint64_t reqs = 0;
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::uint64_t gap = 0;
+};
+
+struct BankCmds {
+  std::uint64_t act = 0;
+  std::uint64_t pre = 0;
+};
+
+}  // namespace
+
+std::string trace_summary(const JsonValue& doc, const std::string& label,
+                          std::size_t top_n) {
+  const JsonValue* events =
+      doc.is_object() ? doc.find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("missing 'traceEvents' array member");
+  }
+
+  std::vector<LoadSlice> loads;
+  // (pid, tid) -> track name from metadata events, emitted before first use.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> tracks;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, BankCmds> banks;
+  std::uint64_t refreshes = 0;
+  std::uint64_t drains = 0, drain_cycles = 0, drain_writes = 0;
+  std::uint64_t enq = 0, cas = 0, data = 0, wr = 0, samples = 0;
+  std::uint64_t end_ts = 0;
+
+  for (const JsonValue& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    const std::string* name = str_member(ev, "name");
+    const std::string* ph = str_member(ev, "ph");
+    if (name == nullptr || ph == nullptr || ph->empty()) continue;
+    const char phase = (*ph)[0];
+    const std::uint64_t pid = num_u64(ev, "pid");
+    const std::uint64_t tid = num_u64(ev, "tid");
+    const std::uint64_t ts = num_u64(ev, "ts");
+    end_ts = std::max(end_ts, ts + num_u64(ev, "dur"));
+
+    if (phase == 'M') {
+      if (*name == "thread_name") {
+        if (const JsonValue* a = ev.find("args")) {
+          if (const std::string* n = str_member(*a, "name")) {
+            tracks[{pid, tid}] = *n;
+          }
+        }
+      }
+      continue;
+    }
+    if (phase == 'X' && *name == "load") {
+      LoadSlice s;
+      s.dur = num_u64(ev, "dur");
+      s.ts = ts;
+      s.pid = pid;
+      s.tid = tid;
+      if (const JsonValue* a = ev.find("args")) {
+        s.reqs = num_u64(*a, "reqs");
+        s.first = num_u64(*a, "first");
+        s.last = num_u64(*a, "last");
+        s.gap = num_u64(*a, "gap");
+      }
+      loads.push_back(s);
+    } else if (phase == 'X' && *name == "drain") {
+      ++drains;
+      drain_cycles += num_u64(ev, "dur");
+      if (const JsonValue* a = ev.find("args")) {
+        drain_writes += num_u64(*a, "writes");
+      }
+    } else if (*name == "ACT") {
+      ++banks[{pid, tid}].act;
+    } else if (*name == "PRE") {
+      ++banks[{pid, tid}].pre;
+    } else if (*name == "REF") {
+      ++refreshes;
+    } else if (*name == "enq") {
+      ++enq;
+    } else if (*name == "cas") {
+      ++cas;
+    } else if (*name == "data") {
+      ++data;
+    } else if (*name == "wr") {
+      ++wr;
+    } else if (phase == 'C') {
+      ++samples;
+    }
+  }
+
+  std::string out;
+  line(out, "trace: %s\n", label.c_str());
+  line(out, "  span       : %" PRIu64 " cycles, %zu events\n", end_ts,
+       events->as_array().size());
+  line(out,
+       "  requests   : %" PRIu64 " enqueued, %" PRIu64 " CAS, %" PRIu64
+       " reads returned, %" PRIu64 " writes retired\n",
+       enq, cas, data, wr);
+  line(out,
+       "  drains     : %" PRIu64 " episodes, %" PRIu64 " cycles, %" PRIu64
+       " writes flushed\n",
+       drains, drain_cycles, drain_writes);
+  line(out, "  counters   : %" PRIu64 " sampled values\n", samples);
+
+  // Top-N slowest warp loads (issue -> wakeup duration).
+  std::sort(loads.begin(), loads.end(),
+            [](const LoadSlice& a, const LoadSlice& b) {
+              if (a.dur != b.dur) return a.dur > b.dur;
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.tid < b.tid;
+            });
+  const std::size_t n = std::min(top_n, loads.size());
+  line(out, "  slowest warp loads (%zu of %zu):\n", n, loads.size());
+  if (n == 0) out += "    (none)\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const LoadSlice& s = loads[i];
+    const auto it = tracks.find({s.pid, s.tid});
+    line(out,
+         "    %-10s issue@%-10" PRIu64 " total %-8" PRIu64 " first %-8" PRIu64
+         " gap %-8" PRIu64 " reqs %" PRIu64 "\n",
+         it != tracks.end() ? it->second.c_str() : "?", s.ts, s.dur, s.first,
+         s.gap, s.reqs);
+  }
+
+  // Per-bank DRAM command breakdown (channel = pid - kPidMcBase).
+  line(out, "  per-bank ACT/PRE (%" PRIu64 " REF):\n", refreshes);
+  if (banks.empty()) out += "    (none)\n";
+  for (const auto& [key, cmds] : banks) {
+    const std::uint64_t ch = key.first >= latdiv::obs::kPidMcBase
+                                 ? key.first - latdiv::obs::kPidMcBase
+                                 : key.first;
+    line(out,
+         "    ch%" PRIu64 " bank%-3" PRIu64 " ACT %-8" PRIu64 " PRE %" PRIu64
+         "\n",
+         ch, key.second, cmds.act, cmds.pre);
+  }
+  return out;
+}
+
+std::string attrib_summary(const JsonValue& doc, const std::string& label) {
+  const JsonValue* a = doc.is_object() ? doc.find("attrib") : nullptr;
+  if (a == nullptr || !a->is_object()) {
+    throw std::runtime_error("missing 'attrib' object member");
+  }
+
+  const std::uint64_t total = num_u64(*a, "total_cycles");
+  std::string out;
+  line(out, "attrib: %s\n", label.c_str());
+  line(out,
+       "  loads      : %" PRIu64 " attributed, %" PRIu64
+       " mismatched, %" PRIu64 " unmatched, %" PRIu64 " dropped\n",
+       num_u64(*a, "loads"), num_u64(*a, "mismatches"),
+       num_u64(*a, "unmatched"), num_u64(*a, "dropped"));
+  line(out,
+       "  audit      : residual %" PRId64 " cycles, %" PRIu64
+       " drain clamps, %" PRIu64 " in flight at end\n",
+       num_i64(*a, "residual"), num_u64(*a, "drain_clamps"),
+       num_u64(*a, "inflight_at_end"));
+  line(out, "  total      : %" PRIu64 " slowest-lane cycles\n", total);
+
+  out += "  cause         cycles       share     p50       p99\n";
+  const JsonValue* causes = a->find("causes");
+  bool any_cause = false;
+  if (causes != nullptr && causes->is_object()) {
+    for (const auto& [name, row] : causes->as_object()) {
+      if (!row.is_object()) continue;
+      any_cause = true;
+      const std::uint64_t sum = num_u64(row, "sum");
+      const double share =
+          total > 0 ? 100.0 * static_cast<double>(sum) /
+                          static_cast<double>(total)
+                    : 0.0;
+      line(out,
+           "    %-13s %-12" PRIu64 " %5.1f%%   %-9" PRIu64 " %" PRIu64 "\n",
+           name.c_str(), sum, share, num_u64(row, "p50"),
+           num_u64(row, "p99"));
+    }
+  }
+  if (!any_cause) out += "    (none)\n";
+
+  out += "  blame      :";
+  const JsonValue* blame = a->find("blame");
+  bool any_blame = false;
+  if (blame != nullptr && blame->is_object()) {
+    for (const auto& [name, v] : blame->as_object()) {
+      if (v.kind() != JsonValue::Kind::kNumber) continue;
+      line(out, "%s %s %" PRIu64, any_blame ? "," : "", name.c_str(),
+           static_cast<std::uint64_t>(v.as_number()));
+      any_blame = true;
+    }
+  }
+  out += any_blame ? "\n" : " (none)\n";
+  return out;
+}
+
+}  // namespace latdiv::exp

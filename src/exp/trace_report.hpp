@@ -1,0 +1,36 @@
+// Renderers for the latdiv-trace summariser: a human-readable digest of
+// a Chrome trace_event document and of a latency-attribution artifact
+// (`latdiv-sweep --attrib`).
+//
+// Library code rather than CLI code so the reports are testable: the
+// tool parses files and prints, these functions turn parsed documents
+// into deterministic strings.  Empty sections render explicit "(none)"
+// placeholders — a trace with zero warp loads still produces the full,
+// well-formed report (drain totals included).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "exp/json.hpp"
+
+namespace latdiv::exp {
+
+/// Summary of a parsed trace_event document: span, request totals,
+/// write-drain totals, the top-N slowest warp loads and the per-bank
+/// ACT/PRE breakdown.  `label` is echoed in the header (the tool passes
+/// the file path).  Ties in the top-N ranking break on (start cycle,
+/// track id) so the same trace always renders the same report.  Throws
+/// std::runtime_error when the document has no `traceEvents` array.
+[[nodiscard]] std::string trace_summary(const JsonValue& doc,
+                                        const std::string& label,
+                                        std::size_t top_n);
+
+/// The `attrib` section: per-cause cycle shares and percentiles, blame
+/// counts, and the audit fields (mismatches / unmatched / residual) of
+/// an attribution artifact written by `latdiv-sweep --attrib`.  Throws
+/// std::runtime_error when the document has no `attrib` object.
+[[nodiscard]] std::string attrib_summary(const JsonValue& doc,
+                                         const std::string& label);
+
+}  // namespace latdiv::exp

@@ -87,7 +87,7 @@ void InstrTracker::finalize(WarpInstrUid uid, Cycle now) {
     summary_.divergence_gap.add(static_cast<double>(r.last_done - r.first_done));
 
     if (obs_ != nullptr) {
-      obs_->warp_load(r.sm, r.warp, r.issued, r.first_done, r.last_done,
+      obs_->warp_load(r.sm, r.warp, uid, r.issued, r.first_done, r.last_done,
                       /*woke=*/now,
                       static_cast<std::uint32_t>(r.locs.size()));
     }

@@ -137,6 +137,7 @@ void MemoryController::send_to_bank(MemRequest req, Cycle now) {
   ++cmdq_total_;
   ++mutation_epoch_;
   ++bank_epoch_[bank];
+  if (obs_ != nullptr) obs_->req_to_bank(req, now);
 }
 
 void MemoryController::announce_selection(const WarpTag& tag,

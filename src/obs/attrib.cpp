@@ -1,0 +1,350 @@
+#include "obs/attrib.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace latdiv::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+constexpr const char* kCauseNames[kAttribCauseCount] = {
+    "coalescer", "xbar",          "queue", "drain",  "bank_hit",
+    "bank_miss", "bank_conflict", "bus",   "return",
+};
+
+/// Index into the hit/miss/conflict triple, or 3 for kNone.
+std::size_t outcome_index(RowOutcome o) {
+  switch (o) {
+    case RowOutcome::kHit:
+      return 0;
+    case RowOutcome::kMiss:
+      return 1;
+    case RowOutcome::kConflict:
+      return 2;
+    case RowOutcome::kNone:
+      break;
+  }
+  return 3;
+}
+
+}  // namespace
+
+const char* attrib_cause_name(AttribCause c) {
+  return kCauseNames[static_cast<std::size_t>(c)];
+}
+
+AttributionProfiler::AttributionProfiler(MetricRegistry& registry)
+    : registry_(registry) {
+  h_total_ = &registry_.histogram("attrib.total");
+  for (std::size_t i = 0; i < kAttribCauseCount; ++i) {
+    h_cause_[i] = &registry_.histogram(std::string("attrib.") + kCauseNames[i]);
+  }
+  c_loads_ = &registry_.counter("attrib.loads");
+  c_mismatch_ = &registry_.counter("attrib.mismatches");
+  c_unmatched_ = &registry_.counter("attrib.unmatched");
+  c_dropped_ = &registry_.counter("attrib.dropped");
+  c_clamps_ = &registry_.counter("attrib.drain_clamps");
+  c_inflight_end_ = &registry_.counter("attrib.inflight_at_end");
+  for (std::size_t i = 0; i < kAttribBlameCauses; ++i) {
+    c_blame_[i] =
+        &registry_.counter(std::string("attrib.blame.") + kCauseNames[i]);
+  }
+  c_blame_none_ = &registry_.counter("attrib.blame.none");
+}
+
+void AttributionProfiler::ensure_channel(ChannelId ch) {
+  if (drains_.size() <= ch) drains_.resize(ch + std::size_t{1});
+}
+
+std::uint64_t AttributionProfiler::drain_cycles(ChannelId ch,
+                                                Cycle now) const {
+  if (ch >= drains_.size()) return 0;
+  const DrainWin& w = drains_[ch];
+  std::uint64_t d = w.cum;
+  if (w.open != kNoCycle && now > w.open) d += now - w.open;
+  return d;
+}
+
+void AttributionProfiler::drain_begin(ChannelId ch, Cycle now) {
+  ensure_channel(ch);
+  if (drains_[ch].open == kNoCycle) drains_[ch].open = now;
+}
+
+void AttributionProfiler::drain_end(ChannelId ch, Cycle now) {
+  ensure_channel(ch);
+  DrainWin& w = drains_[ch];
+  if (w.open == kNoCycle) return;  // episode opened before attach
+  if (now > w.open) w.cum += now - w.open;
+  w.open = kNoCycle;
+}
+
+void AttributionProfiler::req_enqueued(const MemRequest& req, Cycle now) {
+  if (req.kind != ReqKind::kRead) return;  // writes have no owning warp load
+  if (req.tag.instr == kNoWarpInstr || req.issued_by_sm == kNoCycle ||
+      req.issued_by_sm > now) {
+    c_dropped_->add();
+    return;
+  }
+  ReqState st;
+  st.t0 = req.issued_by_sm;
+  st.t1 = now;
+  st.drain_at_t1 = drain_cycles(req.loc.channel, now);
+  const auto [it, inserted] =
+      inflight_.try_emplace({req.tag.instr, req.addr}, st);
+  if (!inserted) c_dropped_->add();  // duplicate (uid, line): keep the first
+  (void)it;
+}
+
+void AttributionProfiler::req_to_bank(const MemRequest& req, Cycle now) {
+  if (req.kind != ReqKind::kRead) return;
+  const auto it = inflight_.find({req.tag.instr, req.addr});
+  if (it == inflight_.end()) return;
+  it->second.t2 = now;
+  it->second.drain_at_t2 = drain_cycles(req.loc.channel, now);
+}
+
+void AttributionProfiler::req_cas(const MemRequest& req, Cycle now) {
+  if (req.kind != ReqKind::kRead) return;
+  const auto it = inflight_.find({req.tag.instr, req.addr});
+  if (it == inflight_.end()) return;
+  it->second.t3 = now;
+  // The row outcome is classified when the request reaches the head of
+  // its bank queue, i.e. strictly after req_to_bank — sample it here.
+  it->second.outcome = req.row_outcome;
+}
+
+void AttributionProfiler::req_data(const MemRequest& req, Cycle done) {
+  if (req.kind != ReqKind::kRead) return;
+  const auto it = inflight_.find({req.tag.instr, req.addr});
+  if (it == inflight_.end()) return;
+  const ReqState st = it->second;
+  inflight_.erase(it);
+
+  Acc& a = accs_[req.tag.instr];
+  ++a.n;
+  const bool monotone = st.t0 != kNoCycle && st.t1 != kNoCycle &&
+                        st.t2 != kNoCycle && st.t3 != kNoCycle &&
+                        st.t0 <= st.t1 && st.t1 <= st.t2 && st.t2 <= st.t3 &&
+                        st.t3 <= done && outcome_index(st.outcome) < 3;
+  if (!monotone) {
+    a.poisoned = true;
+    return;
+  }
+  const std::uint64_t xbar = st.t1 - st.t0;
+  const std::uint64_t queue_raw = st.t2 - st.t1;
+  std::uint64_t drain = st.drain_at_t2 >= st.drain_at_t1
+                            ? st.drain_at_t2 - st.drain_at_t1
+                            : 0;
+  if (drain > queue_raw) {  // defensive: D is 1-Lipschitz, cannot happen
+    drain = queue_raw;
+    c_clamps_->add();
+  }
+  const std::uint64_t queue = queue_raw - drain;
+  const std::uint64_t bank = st.t3 - st.t2;
+  const std::uint64_t bus = done - st.t3;
+
+  a.sum_t0 += st.t0;
+  a.sum_xbar += xbar;
+  a.sum_queue += queue;
+  a.sum_drain += drain;
+  a.sum_bus += bus;
+  a.sum_bank[outcome_index(st.outcome)] += bank;
+
+  if (a.sl_completed == kNoCycle || done > a.sl_completed) {
+    a.sl_completed = done;
+    a.sl_t0 = st.t0;
+    a.sl_xbar = xbar;
+    a.sl_queue = queue;
+    a.sl_drain = drain;
+    a.sl_bank = bank;
+    a.sl_bus = bus;
+    a.sl_outcome = st.outcome;
+  }
+}
+
+void AttributionProfiler::warp_load(WarpInstrUid uid, Cycle issued, Cycle woke,
+                                    std::uint32_t reqs) {
+  const auto it = accs_.find(uid);
+  if (it == accs_.end()) {
+    c_unmatched_->add();
+    return;
+  }
+  const Acc a = it->second;
+  accs_.erase(it);
+  if (a.poisoned || a.n != reqs || a.sl_completed == kNoCycle ||
+      issued == kNoCycle || woke == kNoCycle || issued > a.sl_t0 ||
+      woke < a.sl_completed) {
+    c_mismatch_->add();
+    return;
+  }
+
+  const std::uint64_t total = woke - issued;
+  const std::uint64_t coal = a.sl_t0 - issued;
+  const std::uint64_t ret = woke - a.sl_completed;
+  // The telescope: holds by construction over the slowest lane's stamps.
+  if (coal + a.sl_xbar + a.sl_queue + a.sl_drain + a.sl_bank + a.sl_bus +
+          ret !=
+      total) {
+    c_mismatch_->add();
+    return;
+  }
+
+  h_total_->add(total);
+  h_cause_[static_cast<std::size_t>(AttribCause::kCoalescer)]->add(coal);
+  h_cause_[static_cast<std::size_t>(AttribCause::kXbar)]->add(a.sl_xbar);
+  h_cause_[static_cast<std::size_t>(AttribCause::kQueue)]->add(a.sl_queue);
+  h_cause_[static_cast<std::size_t>(AttribCause::kDrain)]->add(a.sl_drain);
+  // The slowest lane saw exactly one row outcome; only that histogram
+  // takes its bank component (sums stay conserved, counts differ).
+  h_cause_[static_cast<std::size_t>(AttribCause::kBankHit) +
+           outcome_index(a.sl_outcome)]
+      ->add(a.sl_bank);
+  h_cause_[static_cast<std::size_t>(AttribCause::kBus)]->add(a.sl_bus);
+  h_cause_[static_cast<std::size_t>(AttribCause::kReturn)]->add(ret);
+  c_loads_->add();
+
+  // Blame: score(c) = n·comp_c(slowest) − Σ comp_c(lane); positive iff the
+  // slowest lane's component exceeds the lane mean.  Integer, division-free
+  // (scores share the factor n), ties toward the earlier stage.
+  if (a.n >= 2) {
+    const auto n64 = static_cast<std::int64_t>(a.n);
+    std::int64_t score[kAttribBlameCauses];
+    score[0] = n64 * static_cast<std::int64_t>(a.sl_t0) -
+               static_cast<std::int64_t>(a.sum_t0);  // issued cancels out
+    score[1] = n64 * static_cast<std::int64_t>(a.sl_xbar) -
+               static_cast<std::int64_t>(a.sum_xbar);
+    score[2] = n64 * static_cast<std::int64_t>(a.sl_queue) -
+               static_cast<std::int64_t>(a.sum_queue);
+    score[3] = n64 * static_cast<std::int64_t>(a.sl_drain) -
+               static_cast<std::int64_t>(a.sum_drain);
+    for (std::size_t o = 0; o < 3; ++o) {
+      const std::int64_t sl =
+          outcome_index(a.sl_outcome) == o
+              ? n64 * static_cast<std::int64_t>(a.sl_bank)
+              : 0;
+      score[4 + o] = sl - static_cast<std::int64_t>(a.sum_bank[o]);
+    }
+    score[7] = n64 * static_cast<std::int64_t>(a.sl_bus) -
+               static_cast<std::int64_t>(a.sum_bus);
+
+    std::size_t best = kAttribBlameCauses;
+    for (std::size_t c = 0; c < kAttribBlameCauses; ++c) {
+      if (score[c] > 0 && (best == kAttribBlameCauses ||
+                           score[c] > score[best])) {
+        best = c;
+      }
+    }
+    if (best != kAttribBlameCauses) {
+      c_blame_[best]->add();
+      return;
+    }
+  }
+  c_blame_none_->add();
+}
+
+void AttributionProfiler::finalize(Cycle end) {
+  (void)end;
+  c_inflight_end_->add(inflight_.size() + accs_.size());
+  inflight_.clear();
+  accs_.clear();
+}
+
+AttribSummary AttributionProfiler::summary() const {
+  AttribSummary s;
+  s.enabled = true;
+  s.loads = c_loads_->value();
+  s.mismatches = c_mismatch_->value();
+  s.unmatched = c_unmatched_->value();
+  s.dropped = c_dropped_->value();
+  s.drain_clamps = c_clamps_->value();
+  s.inflight_at_end = c_inflight_end_->value();
+  s.total_cycles = h_total_->sum();
+  for (std::size_t i = 0; i < kAttribCauseCount; ++i) {
+    s.cause_cycles[i] = h_cause_[i]->sum();
+    s.cause_p99[i] = h_cause_[i]->quantile(0.99);
+  }
+  for (std::size_t i = 0; i < kAttribBlameCauses; ++i) {
+    s.blame[i] = c_blame_[i]->value();
+  }
+  s.blame_none = c_blame_none_->value();
+  return s;
+}
+
+std::string AttributionProfiler::to_json() const {
+  const AttribSummary s = summary();
+  std::uint64_t cause_sum = 0;
+  for (std::size_t i = 0; i < kAttribCauseCount; ++i) {
+    cause_sum += s.cause_cycles[i];
+  }
+  std::string out = "{\n  \"attrib\": {\n";
+  const auto field = [&out](const char* name, std::uint64_t v,
+                            bool comma = true) {
+    out += "    \"";
+    out += name;
+    out += "\": ";
+    append_u64(out, v);
+    if (comma) out += ",";
+    out += "\n";
+  };
+  field("loads", s.loads);
+  field("mismatches", s.mismatches);
+  field("unmatched", s.unmatched);
+  field("dropped", s.dropped);
+  field("drain_clamps", s.drain_clamps);
+  field("inflight_at_end", s.inflight_at_end);
+  field("total_cycles", s.total_cycles);
+  field("cause_cycles_sum", cause_sum);
+  out += "    \"residual\": ";
+  append_i64(out, static_cast<std::int64_t>(s.total_cycles) -
+                      static_cast<std::int64_t>(cause_sum));
+  out += ",\n    \"causes\": {";
+  for (std::size_t i = 0; i < kAttribCauseCount; ++i) {
+    const Log2Histogram& h = *h_cause_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      \"";
+    out += kCauseNames[i];
+    out += "\": {\"count\": ";
+    append_u64(out, h.total());
+    out += ", \"sum\": ";
+    append_u64(out, h.sum());
+    out += ", \"min\": ";
+    append_u64(out, h.min());
+    out += ", \"max\": ";
+    append_u64(out, h.max());
+    out += ", \"p50\": ";
+    append_u64(out, h.quantile(0.50));
+    out += ", \"p90\": ";
+    append_u64(out, h.quantile(0.90));
+    out += ", \"p99\": ";
+    append_u64(out, h.quantile(0.99));
+    out += "}";
+  }
+  out += "\n    },\n    \"blame\": {";
+  for (std::size_t i = 0; i < kAttribBlameCauses; ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "      \"";
+    out += kCauseNames[i];
+    out += "\": ";
+    append_u64(out, s.blame[i]);
+  }
+  out += ",\n      \"none\": ";
+  append_u64(out, s.blame_none);
+  out += "\n    }\n  }\n}\n";
+  return out;
+}
+
+}  // namespace latdiv::obs

@@ -26,6 +26,9 @@ class McEventSink {
 
   /// Request entered the controller's read/write queue.
   virtual void req_enqueued(const MemRequest& req, Cycle now) = 0;
+  /// Request left the controller request queue for its bank's command
+  /// queue (end of scheduler queue wait, start of bank service).
+  virtual void req_to_bank(const MemRequest& req, Cycle now) = 0;
   /// Read CAS issued for the request (head of its bank's command queue).
   virtual void req_cas(const MemRequest& req, Cycle now) = 0;
   /// Read data burst fully returned to the controller.

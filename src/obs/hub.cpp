@@ -32,12 +32,16 @@ void append_u64(std::string& out, std::uint64_t v) {
 
 ObsHub::ObsHub(const ObsConfig& cfg) : cfg_(cfg) {
   if (cfg_.trace) sink_ = &chrome_;
+  if (!cfg_.attrib_path.empty()) cfg_.attrib = true;
   h_gap_ = &registry_.histogram("warp.divergence_gap");
   h_first_ = &registry_.histogram("warp.first_latency");
   h_last_ = &registry_.histogram("warp.last_latency");
   h_queue_ = &registry_.histogram("req.read_queue_wait");
   h_service_ = &registry_.histogram("req.read_service");
   c_drains_ = &registry_.counter("mc.drain_episodes");
+  // Created after the base instruments so the metrics-export order of
+  // attrib-off runs is untouched.
+  if (cfg_.attrib) attrib_ = std::make_unique<AttributionProfiler>(registry_);
 }
 
 void ObsHub::override_sink(TraceSink* sink) {
@@ -80,6 +84,7 @@ void ObsHub::name_bank_track(ChannelId ch, std::uint32_t tid) {
 }
 
 void ObsHub::req_enqueued(const MemRequest& req, Cycle now) {
+  if (attrib_ != nullptr) attrib_->req_enqueued(req, now);
   if (sink_ == nullptr) return;
   const std::uint32_t tid = req.loc.bank;
   name_bank_track(req.loc.channel, tid);
@@ -94,7 +99,13 @@ void ObsHub::req_enqueued(const MemRequest& req, Cycle now) {
                mc_pid(req.loc.channel), tid, now, 0, args});
 }
 
+void ObsHub::req_to_bank(const MemRequest& req, Cycle now) {
+  // Attribution-only event; no trace emission (see hub.hpp).
+  if (attrib_ != nullptr) attrib_->req_to_bank(req, now);
+}
+
 void ObsHub::req_cas(const MemRequest& req, Cycle now) {
+  if (attrib_ != nullptr) attrib_->req_cas(req, now);
   if (sink_ == nullptr) return;
   const std::uint32_t tid = req.loc.bank;
   name_bank_track(req.loc.channel, tid);
@@ -111,6 +122,7 @@ void ObsHub::req_cas(const MemRequest& req, Cycle now) {
 }
 
 void ObsHub::req_data(const MemRequest& req, Cycle done) {
+  if (attrib_ != nullptr) attrib_->req_data(req, done);
   const Cycle service =
       req.arrived_at_mc == kNoCycle ? 0 : done - req.arrived_at_mc;
   h_service_->add(service);
@@ -163,12 +175,14 @@ void ObsHub::dram_command(ChannelId ch, const DramCommand& cmd, Cycle now) {
 }
 
 void ObsHub::drain_begin(ChannelId ch, Cycle now) {
+  if (attrib_ != nullptr) attrib_->drain_begin(ch, now);
   if (drain_start_.size() <= ch) drain_start_.resize(ch + 1, kNoCycle);
   drain_start_[ch] = now;
   c_drains_->add();
 }
 
 void ObsHub::drain_end(ChannelId ch, Cycle now, std::uint64_t writes) {
+  if (attrib_ != nullptr) attrib_->drain_end(ch, now);
   if (drain_start_.size() <= ch || drain_start_[ch] == kNoCycle) return;
   const Cycle start = drain_start_[ch];
   drain_start_[ch] = kNoCycle;
@@ -179,8 +193,13 @@ void ObsHub::drain_end(ChannelId ch, Cycle now, std::uint64_t writes) {
                kTidCtrl, start, now - start, args});
 }
 
-void ObsHub::warp_load(SmId sm, WarpId warp, Cycle issued, Cycle first_done,
-                       Cycle last_done, Cycle woke, std::uint32_t reqs) {
+void ObsHub::warp_load(SmId sm, WarpId warp, WarpInstrUid uid, Cycle issued,
+                       Cycle first_done, Cycle last_done, Cycle woke,
+                       std::uint32_t reqs) {
+  if (attrib_ != nullptr) {
+    attrib_->warp_load(uid, issued, woke == kNoCycle ? last_done : woke,
+                       reqs);
+  }
   if (issued == kNoCycle || last_done == kNoCycle) return;
   const Cycle first_lat =
       first_done == kNoCycle ? 0 : first_done - issued;
@@ -250,6 +269,13 @@ void ObsHub::finalize(Cycle end) {
   if (!cfg_.metrics_path.empty()) {
     std::ofstream f(cfg_.metrics_path, std::ios::binary);
     if (f) f << registry_.to_json();
+  }
+  if (attrib_ != nullptr) {
+    attrib_->finalize(end);
+    if (!cfg_.attrib_path.empty()) {
+      std::ofstream f(cfg_.attrib_path, std::ios::binary);
+      if (f) f << attrib_->to_json();
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -25,6 +26,7 @@
 #include "common/types.hpp"
 #include "dram/command.hpp"
 #include "mem/request.hpp"
+#include "obs/attrib.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
@@ -35,16 +37,19 @@ namespace latdiv::obs {
 struct ObsConfig {
   bool trace = false;       ///< request-lifecycle tracing (Chrome JSON)
   bool timeseries = false;  ///< sampled per-epoch CSV
+  bool attrib = false;      ///< per-warp-load latency attribution
   /// Cycles between time-series samples.  Idle fast-forward is clamped to
   /// these boundaries when sampling, so every epoch is observed.
   Cycle sample_interval = 500;
   std::string trace_path;       ///< write trace JSON here at end of run
   std::string timeseries_path;  ///< write time-series CSV here
   std::string metrics_path;     ///< write MetricRegistry JSON here
+  std::string attrib_path;      ///< write attribution JSON here (implies attrib)
 
   /// Anything on?  Gates hub construction in the Simulator.
   [[nodiscard]] bool enabled() const {
-    return trace || timeseries || !metrics_path.empty();
+    return trace || timeseries || attrib || !metrics_path.empty() ||
+           !attrib_path.empty();
   }
 };
 
@@ -68,6 +73,10 @@ class ObsHub : public McEventSink {
   // --- request lifecycle (McEventSink; called by mc::MemoryController
   // directly in serial runs, via the epoch-merge replay when sharded) ---
   void req_enqueued(const MemRequest& req, Cycle now) override;
+  /// Request moved into its bank's command queue.  Feeds the attribution
+  /// profiler only; deliberately emits no trace event, so trace artifacts
+  /// are unchanged by the attrib layer.
+  void req_to_bank(const MemRequest& req, Cycle now) override;
   void req_cas(const MemRequest& req, Cycle now) override;
   void req_data(const MemRequest& req, Cycle done) override;
   void req_write_retired(const MemRequest& req, Cycle done) override;
@@ -81,9 +90,11 @@ class ObsHub : public McEventSink {
   // --- warp lifecycle (called by gpu::InstrTracker) ---
   /// One warp load retired: issue cycle, first/last DRAM completion, the
   /// cycle the warp actually woke, and its coalesced request count.
-  /// Feeds the divergence histograms and (when tracing) the warp track.
-  void warp_load(SmId sm, WarpId warp, Cycle issued, Cycle first_done,
-                 Cycle last_done, Cycle woke, std::uint32_t reqs);
+  /// Feeds the divergence histograms, the attribution profiler (keyed by
+  /// `uid`) and (when tracing) the warp track.
+  void warp_load(SmId sm, WarpId warp, WarpInstrUid uid, Cycle issued,
+                 Cycle first_done, Cycle last_done, Cycle woke,
+                 std::uint32_t reqs);
 
   // --- time series (called by sim::Simulator) ---
   /// Declare column names once before the first sample().  Names must be
@@ -112,6 +123,18 @@ class ObsHub : public McEventSink {
   [[nodiscard]] std::uint64_t trace_events() const;
   [[nodiscard]] const ObsConfig& config() const noexcept { return cfg_; }
 
+  /// The attribution profiler, or nullptr when `cfg.attrib` is off.
+  [[nodiscard]] AttributionProfiler* attrib() noexcept {
+    return attrib_.get();
+  }
+  [[nodiscard]] const AttributionProfiler* attrib() const noexcept {
+    return attrib_.get();
+  }
+  /// Finished attribution artifact ("" when attribution is off).
+  [[nodiscard]] std::string attrib_json() const {
+    return attrib_ != nullptr ? attrib_->to_json() : std::string{};
+  }
+
   /// Snapshot serialization (src/ckpt): registry, trace buffer, series CSV
   /// and episode state all round-trip so an obs-enabled resume produces
   /// byte-identical artifacts; the sink override and hot-path handles are
@@ -131,6 +154,8 @@ class ObsHub : public McEventSink {
   TraceSink* sink_ LATDIV_SHARD_LOCAL = nullptr;
 
   MetricRegistry registry_;
+  /// Latency-attribution layer; null when off (cfg_.attrib gates it).
+  std::unique_ptr<AttributionProfiler> attrib_;
   // Hot-path handles into registry_ (stable pointers).
   Log2Histogram* h_gap_ = nullptr;
   Log2Histogram* h_first_ = nullptr;

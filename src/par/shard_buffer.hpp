@@ -60,6 +60,9 @@ class ShardEffectBuffer final : public obs::McEventSink, public TrackerSink {
   void req_enqueued(const MemRequest& req, Cycle now) override {
     push(Event::Kind::kReqEnqueued, now).req = req;
   }
+  void req_to_bank(const MemRequest& req, Cycle now) override {
+    push(Event::Kind::kReqToBank, now).req = req;
+  }
   void req_cas(const MemRequest& req, Cycle now) override {
     push(Event::Kind::kReqCas, now).req = req;
   }
@@ -123,6 +126,9 @@ class ShardEffectBuffer final : public obs::McEventSink, public TrackerSink {
           LATDIV_DCHECK(obs != nullptr, "obs event without a hub");
           obs->req_enqueued(e.req, e.when);
           break;
+        case Event::Kind::kReqToBank:
+          obs->req_to_bank(e.req, e.when);
+          break;
         case Event::Kind::kReqCas:
           obs->req_cas(e.req, e.when);
           break;
@@ -178,6 +184,7 @@ class ShardEffectBuffer final : public obs::McEventSink, public TrackerSink {
   struct Event {
     enum class Kind : std::uint8_t {
       kReqEnqueued,
+      kReqToBank,
       kReqCas,
       kReqData,
       kReqWriteRetired,

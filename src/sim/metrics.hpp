@@ -8,6 +8,7 @@
 
 #include "dram/power.hpp"
 #include "gpu/tracker.hpp"
+#include "obs/attrib.hpp"
 
 namespace latdiv {
 
@@ -86,6 +87,10 @@ struct RunResult {
   std::uint64_t wg_writeaware_selections = 0;
   std::uint64_t wg_shared_boosts = 0;
   std::uint64_t coord_messages = 0;
+
+  /// Latency-attribution roll-up (enabled == false unless the run had
+  /// cfg.obs.attrib on; see src/obs/attrib.hpp).
+  obs::AttribSummary attrib;
 };
 
 }  // namespace latdiv

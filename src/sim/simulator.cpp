@@ -241,6 +241,9 @@ void Simulator::audit_invariants() {
   std::size_t blocked = 0;
   for (const auto& sm : sms_) blocked += sm->warps_blocked_on_loads();
   invariant_checker_->audit_tracker(tracker_, blocked, now_);
+  if (obs_hub_ && obs_hub_->attrib() != nullptr) {
+    invariant_checker_->audit_attribution(*obs_hub_->attrib(), now_);
+  }
 }
 
 void Simulator::step() {
@@ -611,6 +614,10 @@ RunResult Simulator::collect() const {
   per_chan.all_banks_idle_cycles = idle / partitions_.size();
   const PowerModel power(Gddr5PowerParams{}, cfg_.dram);
   if (now_ > 0) r.power = power.compute(per_chan, now_);
+
+  if (obs_hub_ && obs_hub_->attrib() != nullptr) {
+    r.attrib = obs_hub_->attrib()->summary();
+  }
 
   return r;
 }

@@ -1,0 +1,18 @@
+// Positive fixtures for observer-purity on the attribution-profiler
+// shape: request-lifecycle entry points under an obs/ directory that
+// take simulation state mutably must be reported; const references and
+// by-value parameters are fine.
+namespace fixture {
+
+class MemRequest;
+class InstrTracker;
+
+class AttribObserver {
+ public:
+  void req_enqueued(MemRequest& req, unsigned long now);  // expect: observer-purity
+  void attach(InstrTracker* tracker);  // expect: observer-purity
+  void req_data(const MemRequest& req, unsigned long done);  // const: fine
+  void warp_load(unsigned long uid, unsigned reqs);  // by value: fine
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Observer-purity on the attribution-profiler shape: the real
+// AttributionProfiler sees every request through const references and
+// folds into private state only.  A deliberately mutating hook needs a
+// justification suppression.
+namespace fixture_good {
+
+class MemRequest;
+
+class AttribObserver {
+ public:
+  void req_enqueued(const MemRequest& req, unsigned long now);
+  void req_data(const MemRequest& req, unsigned long done);
+  void warp_load(unsigned long uid, unsigned reqs);
+  void recycle(MemRequest& req);  // lint: observer-purity-ok
+};
+
+}  // namespace fixture_good

@@ -107,8 +107,8 @@ TEST(LintFixtures, GoodCorpusIsCleanAndUsesEverySuppression) {
   // ckpt-reader fixtures' measurement/aggregation directives, all
   // consumed (an unused directive would have been reported as a finding
   // above).
-  EXPECT_EQ(r.suppressions_used, 15u);
-  EXPECT_EQ(r.files_analyzed, 7u);
+  EXPECT_EQ(r.suppressions_used, 16u);
+  EXPECT_EQ(r.files_analyzed, 8u);
 }
 
 TEST(LintSelfCheck, ProductionTreeIsClean) {

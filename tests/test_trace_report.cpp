@@ -1,0 +1,138 @@
+// Trace/attribution report renderers (src/exp/trace_report).
+//
+// The regression this suite pins: a trace with zero warp-load events
+// must still render the complete summary — drain totals included — with
+// explicit "(none)" placeholders for the empty sections, instead of a
+// report that silently truncates.  Plus: the attribution section renders
+// every cause and blame entry, and both renderers are deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/json.hpp"
+#include "exp/trace_report.hpp"
+#include "sim/simulator.hpp"
+
+namespace latdiv {
+namespace {
+
+using exp::JsonValue;
+
+TEST(TraceReport, EmptyTracePrintsDrainTotalsAndPlaceholders) {
+  const JsonValue doc = JsonValue::parse(R"({"traceEvents":[]})");
+  const std::string s = exp::trace_summary(doc, "empty", 10);
+  EXPECT_NE(s.find("span       : 0 cycles, 0 events"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("drains     : 0 episodes, 0 cycles, 0 writes flushed"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("slowest warp loads (0 of 0):\n    (none)"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("per-bank ACT/PRE (0 REF):\n    (none)"),
+            std::string::npos)
+      << s;
+}
+
+// A drain-only window (writes flushed, no reads completed, no warp
+// loads) keeps its totals — the original motivating case.
+TEST(TraceReport, DrainOnlyWindowKeepsDrainTotals) {
+  const JsonValue doc = JsonValue::parse(R"({"traceEvents":[
+    {"name":"drain","ph":"X","pid":100,"tid":0,"ts":10,"dur":40,
+     "args":{"writes":7}},
+    {"name":"drain","ph":"X","pid":100,"tid":0,"ts":90,"dur":60,
+     "args":{"writes":5}}
+  ]})");
+  const std::string s = exp::trace_summary(doc, "drain-only", 5);
+  EXPECT_NE(s.find("drains     : 2 episodes, 100 cycles, 12 writes flushed"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("slowest warp loads (0 of 0):\n    (none)"),
+            std::string::npos)
+      << s;
+}
+
+TEST(TraceReport, MissingTraceEventsThrows) {
+  EXPECT_THROW((void)exp::trace_summary(JsonValue::parse("{}"), "x", 5),
+               std::runtime_error);
+  EXPECT_THROW((void)exp::trace_summary(JsonValue::parse("[1,2]"), "x", 5),
+               std::runtime_error);
+}
+
+TEST(TraceReport, RendersDeterministically) {
+  SimConfig cfg;
+  cfg.shrink_for_tests();
+  cfg.workload = profile_by_name("bfs");
+  cfg.obs.trace = true;
+  Simulator sim(cfg);
+  (void)sim.run();
+  const JsonValue doc = JsonValue::parse(sim.obs()->trace_json());
+  const std::string a = exp::trace_summary(doc, "t", 10);
+  const std::string b = exp::trace_summary(doc, "t", 10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("(none)"), std::string::npos)
+      << "a real trace should have no empty sections:\n"
+      << a;
+}
+
+// ---------------------------------------------------------------------------
+// Attribution section.
+
+TEST(AttribReport, RendersCausesBlameAndAuditLine) {
+  const JsonValue doc = JsonValue::parse(R"({"attrib":{
+    "loads": 10, "mismatches": 0, "unmatched": 0, "dropped": 0,
+    "drain_clamps": 0, "inflight_at_end": 2,
+    "total_cycles": 1000, "cause_cycles_sum": 1000, "residual": 0,
+    "causes": {
+      "queue": {"count": 10, "sum": 600, "min": 1, "max": 200,
+                "p50": 63, "p90": 127, "p99": 255},
+      "bus": {"count": 10, "sum": 400, "min": 20, "max": 40,
+              "p50": 31, "p90": 31, "p99": 31}
+    },
+    "blame": {"queue": 6, "bus": 1, "none": 3}
+  }})");
+  const std::string s = exp::attrib_summary(doc, "demo");
+  EXPECT_NE(s.find("10 attributed, 0 mismatched, 0 unmatched, 0 dropped"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("residual 0 cycles"), std::string::npos) << s;
+  EXPECT_NE(s.find("queue"), std::string::npos) << s;
+  EXPECT_NE(s.find("60.0%"), std::string::npos) << s;  // 600 / 1000
+  EXPECT_NE(s.find("blame      : queue 6, bus 1, none 3"),
+            std::string::npos)
+      << s;
+}
+
+TEST(AttribReport, EmptySectionsRenderNone) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"attrib":{"loads":0,"total_cycles":0,"causes":{},"blame":{}}})");
+  const std::string s = exp::attrib_summary(doc, "empty");
+  EXPECT_NE(s.find("0 attributed"), std::string::npos) << s;
+  EXPECT_NE(s.find("    (none)"), std::string::npos) << s;
+  EXPECT_NE(s.find("blame      : (none)"), std::string::npos) << s;
+}
+
+TEST(AttribReport, MissingAttribObjectThrows) {
+  EXPECT_THROW((void)exp::attrib_summary(JsonValue::parse("{}"), "x"),
+               std::runtime_error);
+}
+
+// End-to-end: the artifact a real run writes parses as JSON and renders
+// with a clean audit line.
+TEST(AttribReport, RealArtifactParsesAndRendersClean) {
+  SimConfig cfg;
+  cfg.shrink_for_tests();
+  cfg.workload = profile_by_name("bfs");
+  cfg.obs.attrib = true;
+  Simulator sim(cfg);
+  (void)sim.run();
+  const JsonValue doc = JsonValue::parse(sim.obs()->attrib_json());
+  const std::string s = exp::attrib_summary(doc, "real");
+  EXPECT_NE(s.find("residual 0 cycles"), std::string::npos) << s;
+  EXPECT_NE(s.find("0 mismatched, 0 unmatched, 0 dropped"),
+            std::string::npos)
+      << s;
+}
+
+}  // namespace
+}  // namespace latdiv

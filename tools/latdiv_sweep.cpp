@@ -58,6 +58,10 @@ void usage(std::FILE* out) {
                "into DIR (Perfetto-loadable)\n"
                "  --timeseries DIR  write per-point sampled time-series CSV "
                "into DIR\n"
+               "  --attrib DIR      run the latency-attribution profiler and "
+               "write per-point\n"
+               "                    attribution JSON into DIR (adds attrib.* "
+               "point metrics)\n"
                "  --sample-interval N\n"
                "                    time-series sampling epoch in DRAM "
                "cycles (default 500)\n"
@@ -265,6 +269,8 @@ int cmd_run(const std::string& manifest, int argc, char** argv) {
       args.trace_dir = next_arg(argc, argv, i);
     } else if (std::strcmp(flag, "--timeseries") == 0) {
       args.timeseries_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(flag, "--attrib") == 0) {
+      args.attrib_dir = next_arg(argc, argv, i);
     } else if (std::strcmp(flag, "--sample-interval") == 0) {
       args.sample_interval = parse_u64(flag, next_arg(argc, argv, i));
     } else if (std::strcmp(flag, "--snapshot") == 0) {

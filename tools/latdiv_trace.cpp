@@ -1,29 +1,31 @@
 // latdiv-trace — summarise / validate the Chrome trace_event JSON files
 // written by the observability layer (`latdiv-sweep --trace`, or any
-// SimConfig with cfg.obs.trace set).
+// SimConfig with cfg.obs.trace set), and render the attribution
+// artifacts written by `latdiv-sweep --attrib`.
 //
-//   latdiv-trace summary FILE [--top N]   top-N slowest warp loads,
+//   latdiv-trace summary FILE [--top N] [--attrib FILE]
+//                                         top-N slowest warp loads,
 //                                         per-bank ACT/PRE breakdown,
-//                                         write-drain totals
+//                                         write-drain totals; with
+//                                         --attrib, append the latency-
+//                                         attribution section
+//   latdiv-trace attrib FILE              latency-attribution section only
 //   latdiv-trace validate FILE            strict trace_event schema check
 //
-// The summariser is deterministic: ties in the top-N ranking break on
-// (start cycle, track id), so the same trace always prints the same
-// report.
+// The summariser is deterministic (src/exp/trace_report.cpp): ties in
+// the top-N ranking break on (start cycle, track id), so the same trace
+// always prints the same report, and empty sections render "(none)".
 //
 // Exit codes: 0 ok, 1 schema violation, 2 usage or I/O errors.
-#include <algorithm>
-#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "exp/json.hpp"
-#include "obs/event.hpp"
+#include "exp/trace_report.hpp"
 
 using latdiv::exp::JsonValue;
 
@@ -31,11 +33,15 @@ namespace {
 
 void usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: latdiv-trace summary FILE [--top N]\n"
+               "usage: latdiv-trace summary FILE [--top N] [--attrib FILE]\n"
+               "       latdiv-trace attrib FILE\n"
                "       latdiv-trace validate FILE\n"
                "\n"
                "  summary    top-N slowest warp loads, per-bank ACT/PRE\n"
-               "             breakdown and write-drain totals\n"
+               "             breakdown and write-drain totals; --attrib\n"
+               "             appends the latency-attribution section\n"
+               "  attrib     latency-attribution section of an artifact\n"
+               "             written by `latdiv-sweep --attrib`\n"
                "  validate   strict trace_event schema check (exit 1 on\n"
                "             the first violation)\n");
 }
@@ -49,12 +55,24 @@ bool read_file(const char* path, std::string& out) {
   return true;
 }
 
-/// Integer view of a numeric member (0 when absent / non-numeric —
-/// callers validate first where it matters).
-std::uint64_t num_u64(const JsonValue& ev, const char* key) {
-  const JsonValue* v = ev.find(key);
-  if (v == nullptr || v->kind() != JsonValue::Kind::kNumber) return 0;
-  return static_cast<std::uint64_t>(v->as_number());
+/// Parse `path` as JSON; exit code by reference (2 unreadable, 1 not
+/// JSON) with the message already printed.
+bool load_json(const char* path, JsonValue& doc, int& rc) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "latdiv-trace: cannot read '%s'\n", path);
+    rc = 2;
+    return false;
+  }
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "latdiv-trace: '%s' is not JSON: %s\n", path,
+                 e.what());
+    rc = 1;
+    return false;
+  }
+  return true;
 }
 
 const std::string* str_member(const JsonValue& ev, const char* key) {
@@ -67,19 +85,9 @@ const std::string* str_member(const JsonValue& ev, const char* key) {
 // validate
 
 int cmd_validate(const char* path) {
-  std::string text;
-  if (!read_file(path, text)) {
-    std::fprintf(stderr, "latdiv-trace: cannot read '%s'\n", path);
-    return 2;
-  }
+  int rc = 0;
   JsonValue doc;
-  try {
-    doc = JsonValue::parse(text);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "latdiv-trace: '%s' is not JSON: %s\n", path,
-                 e.what());
-    return 1;
-  }
+  if (!load_json(path, doc, rc)) return rc;
   if (!doc.is_object()) {
     std::fprintf(stderr, "latdiv-trace: top level must be an object\n");
     return 1;
@@ -152,152 +160,33 @@ int cmd_validate(const char* path) {
 }
 
 // ---------------------------------------------------------------------------
-// summary
+// summary / attrib
 
-struct LoadSlice {
-  std::uint64_t dur = 0;
-  std::uint64_t ts = 0;
-  std::uint64_t pid = 0;
-  std::uint64_t tid = 0;
-  std::uint64_t reqs = 0;
-  std::uint64_t first = 0;
-  std::uint64_t last = 0;
-  std::uint64_t gap = 0;
-};
-
-struct BankCmds {
-  std::uint64_t act = 0;
-  std::uint64_t pre = 0;
-};
-
-int cmd_summary(const char* path, std::size_t top_n) {
-  std::string text;
-  if (!read_file(path, text)) {
-    std::fprintf(stderr, "latdiv-trace: cannot read '%s'\n", path);
-    return 2;
-  }
+int cmd_attrib(const char* path) {
+  int rc = 0;
   JsonValue doc;
+  if (!load_json(path, doc, rc)) return rc;
   try {
-    doc = JsonValue::parse(text);
+    std::fputs(latdiv::exp::attrib_summary(doc, path).c_str(), stdout);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "latdiv-trace: '%s' is not JSON: %s\n", path,
-                 e.what());
+    std::fprintf(stderr, "latdiv-trace: '%s': %s\n", path, e.what());
     return 1;
   }
-  const JsonValue* events = doc.is_object() ? doc.find("traceEvents") : nullptr;
-  if (events == nullptr || !events->is_array()) {
-    std::fprintf(stderr,
-                 "latdiv-trace: missing 'traceEvents' array member\n");
+  return 0;
+}
+
+int cmd_summary(const char* path, std::size_t top_n,
+                const char* attrib_path) {
+  int rc = 0;
+  JsonValue doc;
+  if (!load_json(path, doc, rc)) return rc;
+  try {
+    std::fputs(latdiv::exp::trace_summary(doc, path, top_n).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "latdiv-trace: '%s': %s\n", path, e.what());
     return 1;
   }
-
-  std::vector<LoadSlice> loads;
-  // (pid, tid) -> track name from metadata events, emitted before first use.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> tracks;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, BankCmds> banks;
-  std::uint64_t refreshes = 0;
-  std::uint64_t drains = 0, drain_cycles = 0, drain_writes = 0;
-  std::uint64_t enq = 0, cas = 0, data = 0, wr = 0, samples = 0;
-  std::uint64_t end_ts = 0;
-
-  for (const JsonValue& ev : events->as_array()) {
-    if (!ev.is_object()) continue;
-    const std::string* name = str_member(ev, "name");
-    const std::string* ph = str_member(ev, "ph");
-    if (name == nullptr || ph == nullptr || ph->empty()) continue;
-    const char phase = (*ph)[0];
-    const std::uint64_t pid = num_u64(ev, "pid");
-    const std::uint64_t tid = num_u64(ev, "tid");
-    const std::uint64_t ts = num_u64(ev, "ts");
-    end_ts = std::max(end_ts, ts + num_u64(ev, "dur"));
-
-    if (phase == 'M') {
-      if (*name == "thread_name") {
-        if (const JsonValue* a = ev.find("args")) {
-          if (const std::string* n = str_member(*a, "name")) {
-            tracks[{pid, tid}] = *n;
-          }
-        }
-      }
-      continue;
-    }
-    if (phase == 'X' && *name == "load") {
-      LoadSlice s;
-      s.dur = num_u64(ev, "dur");
-      s.ts = ts;
-      s.pid = pid;
-      s.tid = tid;
-      if (const JsonValue* a = ev.find("args")) {
-        s.reqs = num_u64(*a, "reqs");
-        s.first = num_u64(*a, "first");
-        s.last = num_u64(*a, "last");
-        s.gap = num_u64(*a, "gap");
-      }
-      loads.push_back(s);
-    } else if (phase == 'X' && *name == "drain") {
-      ++drains;
-      drain_cycles += num_u64(ev, "dur");
-      if (const JsonValue* a = ev.find("args")) {
-        drain_writes += num_u64(*a, "writes");
-      }
-    } else if (*name == "ACT") {
-      ++banks[{pid, tid}].act;
-    } else if (*name == "PRE") {
-      ++banks[{pid, tid}].pre;
-    } else if (*name == "REF") {
-      ++refreshes;
-    } else if (*name == "enq") {
-      ++enq;
-    } else if (*name == "cas") {
-      ++cas;
-    } else if (*name == "data") {
-      ++data;
-    } else if (*name == "wr") {
-      ++wr;
-    } else if (phase == 'C') {
-      ++samples;
-    }
-  }
-
-  std::printf("trace: %s\n", path);
-  std::printf("  span       : %" PRIu64 " cycles, %zu events\n", end_ts,
-              events->as_array().size());
-  std::printf("  requests   : %" PRIu64 " enqueued, %" PRIu64 " CAS, %" PRIu64
-              " reads returned, %" PRIu64 " writes retired\n",
-              enq, cas, data, wr);
-  std::printf("  drains     : %" PRIu64 " episodes, %" PRIu64
-              " cycles, %" PRIu64 " writes flushed\n",
-              drains, drain_cycles, drain_writes);
-  std::printf("  counters   : %" PRIu64 " sampled values\n", samples);
-
-  // Top-N slowest warp loads (issue -> wakeup duration).
-  std::sort(loads.begin(), loads.end(),
-            [](const LoadSlice& a, const LoadSlice& b) {
-              if (a.dur != b.dur) return a.dur > b.dur;
-              if (a.ts != b.ts) return a.ts < b.ts;
-              return a.tid < b.tid;
-            });
-  const std::size_t n = std::min(top_n, loads.size());
-  std::printf("  slowest warp loads (%zu of %zu):\n", n, loads.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const LoadSlice& s = loads[i];
-    const auto it = tracks.find({s.pid, s.tid});
-    std::printf("    %-10s issue@%-10" PRIu64 " total %-8" PRIu64
-                " first %-8" PRIu64 " gap %-8" PRIu64 " reqs %" PRIu64 "\n",
-                it != tracks.end() ? it->second.c_str() : "?", s.ts, s.dur,
-                s.first, s.gap, s.reqs);
-  }
-
-  // Per-bank DRAM command breakdown (channel = pid - kPidMcBase).
-  std::printf("  per-bank ACT/PRE (%" PRIu64 " REF):\n", refreshes);
-  for (const auto& [key, cmds] : banks) {
-    const std::uint64_t ch = key.first >= latdiv::obs::kPidMcBase
-                                 ? key.first - latdiv::obs::kPidMcBase
-                                 : key.first;
-    std::printf("    ch%" PRIu64 " bank%-3" PRIu64 " ACT %-8" PRIu64
-                " PRE %" PRIu64 "\n",
-                ch, key.second, cmds.act, cmds.pre);
-  }
+  if (attrib_path != nullptr) return cmd_attrib(attrib_path);
   return 0;
 }
 
@@ -310,18 +199,22 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
+  if (cmd == "attrib" && argc == 3) return cmd_attrib(argv[2]);
   if (cmd == "summary") {
     std::size_t top_n = 10;
     const char* path = argv[2];
+    const char* attrib_path = nullptr;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
         top_n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--attrib") == 0 && i + 1 < argc) {
+        attrib_path = argv[++i];
       } else {
         usage(stderr);
         return 2;
       }
     }
-    return cmd_summary(path, top_n);
+    return cmd_summary(path, top_n, attrib_path);
   }
   usage(stderr);
   return 2;
